@@ -1,0 +1,34 @@
+"""Benchmark-harness configuration.
+
+Every benchmark regenerates one paper artifact (a table or figure) at the
+``bench`` dataset scale, prints the rendered text, saves it under
+``benchmarks/artifacts/``, and asserts the paper's qualitative shape.
+Set ``REPRO_BENCH_SCALE=tiny`` for a fast smoke run or ``full`` for the
+larger stand-ins.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+ARTIFACT_DIR = Path(__file__).parent / "artifacts"
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> str:
+    return os.environ.get("REPRO_BENCH_SCALE", "bench")
+
+
+@pytest.fixture(scope="session")
+def save_artifact():
+    ARTIFACT_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        (ARTIFACT_DIR / f"{name}.txt").write_text(text + "\n",
+                                                  encoding="utf-8")
+        print("\n" + text)
+
+    return _save

@@ -1,0 +1,26 @@
+"""E8 — Fig. 10: BCPar vs METIS-like partitioning on OR.
+
+Paper shape: (a) BCPar's throughput consistently exceeds METIS's; (b)
+inter-partition enumeration is markedly slower than intra for METIS,
+while BCPar has no inter-partition penalty (no on-demand transfers at
+all — its partitions are autonomous).
+"""
+
+from repro.bench.experiments import experiment_fig10
+from repro.core.counts import BicliqueQuery
+
+
+def test_fig10(benchmark, bench_scale, save_artifact):
+    result = benchmark.pedantic(
+        lambda: experiment_fig10(dataset="OR", scale=bench_scale,
+                                 queries=[BicliqueQuery(2, 2),
+                                          BicliqueQuery(3, 3),
+                                          BicliqueQuery(4, 4)]),
+        rounds=1, iterations=1)
+    save_artifact("fig10", result.text)
+    for qs, cell in result.data.items():
+        assert cell["bcpar"].on_demand_transfer_words == 0, qs
+        assert cell["bcpar_throughput"] > cell["metis_throughput"], qs
+        me_intra, me_inter = cell["metis_split"]
+        if cell["metis"].inter_count > 0 and cell["metis"].intra_count > 0:
+            assert me_inter < me_intra, qs

@@ -1,0 +1,24 @@
+"""E10 — Fig. 11 (appendix): DFS vs hybrid DFS-BFS exploration.
+
+Paper shape: hybrid uses ~1.3x more memory but runs ~2.2x faster on
+average.  We assert memory overhead >= 1x (and bounded), plus a mean
+speedup > 1.
+"""
+
+import numpy as np
+
+from repro.bench.experiments import experiment_fig11
+
+
+def test_fig11(benchmark, bench_scale, save_artifact):
+    result = benchmark.pedantic(
+        lambda: experiment_fig11(datasets=("YT", "BC", "GH", "SO", "YL"),
+                                 scale=bench_scale),
+        rounds=1, iterations=1)
+    save_artifact("fig11", result.text)
+    mem_ratios = [c["memory_ratio"] for c in result.data.values()]
+    speedups = [c["speedup"] for c in result.data.values()]
+    assert all(1.0 <= m for m in mem_ratios)
+    assert all(m < 50 for m in mem_ratios)  # bounded, not an explosion
+    assert float(np.mean(speedups)) > 1.1
+    assert all(s > 0.9 for s in speedups)

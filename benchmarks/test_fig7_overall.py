@@ -1,0 +1,29 @@
+"""E3 — Fig. 7: overall performance of GBC vs GBL, BCLP, BCL.
+
+Paper shape: GBC is fastest in every cell; average speedups 505x over
+BCL, 147x over BCLP, 16x over GBL on real hardware.  Absolute factors are
+platform-bound (our CPU baselines run in Python, the device is simulated),
+so we assert ordering and that the mean speedups are substantial:
+mean(BCL/GBC) > mean(BCLP/GBC) > 1 and mean(GBL/GBC) > 1.
+"""
+
+import numpy as np
+
+from repro.bench.experiments import FIG7_QUERIES, experiment_fig7
+
+
+def test_fig7(benchmark, bench_scale, save_artifact):
+    result = benchmark.pedantic(
+        lambda: experiment_fig7(datasets=("YT", "BC", "GH", "YL", "S2"),
+                                scale=bench_scale),
+        rounds=1, iterations=1)
+    save_artifact("fig7", result.text)
+    speedups = {m: float(np.mean(v))
+                for m, v in result.data["speedups"].items()}
+    # GBC wins on average against every baseline
+    for method, mean_speedup in speedups.items():
+        assert mean_speedup > 1.0, (method, mean_speedup)
+    # CPU sequential is the slowest, its parallel version in between
+    assert speedups["BCL"] > speedups["BCLP"] > 1.0
+    # the naive GPU port loses to GBC clearly
+    assert speedups["GBL"] > 1.5

@@ -1,0 +1,24 @@
+"""E5 — Fig. 9: ablation of GBC's three optimisations (NH, NB, NW).
+
+Paper shape: disabling any module slows GBC down — hybrid exploration is
+the largest factor (avg 3.7x), HTB+Border and balancing around 2.2x each.
+We assert every ratio >= ~1 and that each variant costs measurably on
+average (>10%).
+"""
+
+import numpy as np
+
+from repro.bench.experiments import experiment_fig9
+
+
+def test_fig9(benchmark, bench_scale, save_artifact):
+    result = benchmark.pedantic(
+        lambda: experiment_fig9(datasets=("YT", "BC", "GH", "YL", "S1"),
+                                scale=bench_scale),
+        rounds=1, iterations=1)
+    save_artifact("fig9", result.text)
+    ratios = result.data["ratios"]
+    for variant, per_ds in ratios.items():
+        flat = [r for rs in per_ds.values() for r in rs]
+        assert all(r > 0.9 for r in flat), (variant, min(flat))
+        assert float(np.mean(flat)) > 1.1, (variant, np.mean(flat))

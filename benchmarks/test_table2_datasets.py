@@ -1,0 +1,21 @@
+"""E2 — Table II: dataset statistics of the stand-ins.
+
+Checks that every stand-in preserves the paper's qualitative features:
+layer-size orientation and mean-degree contrast between layers.
+"""
+
+from repro.bench.datasets import PAPER_STATS
+from repro.bench.experiments import experiment_table2
+
+
+def test_table2(benchmark, bench_scale, save_artifact):
+    result = benchmark.pedantic(lambda: experiment_table2(scale=bench_scale),
+                                rounds=1, iterations=1)
+    save_artifact("table2", result.text)
+    stats = result.data["stats"]
+    assert len(stats) == len(PAPER_STATS)
+    for key, s in stats.items():
+        pu, pv, _, pdu, pdv = PAPER_STATS[key]
+        assert (s.num_u >= s.num_v) == (pu >= pv), key
+        if key != "OR":  # OR is regenerated for partition experiments
+            assert (s.mean_degree_u > s.mean_degree_v) == (pdu > pdv), key

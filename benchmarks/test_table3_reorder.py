@@ -1,0 +1,36 @@
+"""E6 — Table III: GBC counting time on (un)reordered graphs.
+
+Paper shape: both reorderings beat no-reorder everywhere (Gorder avg
+2.4x, Border avg 3.1x) and Border beats Gorder on every dataset (37%
+average).  Divergence note (recorded in EXPERIMENTS.md): the paper runs
+the *unipartite* Gorder, which mangles bipartite id spaces; our
+comparator is a bipartite-aware transcription and is therefore stronger
+than what the paper compared against, so Border's universal win over
+Gorder does not fully carry over.  What we assert: Border beats
+no-reorder on every dataset with a solid mean gain, and stays in
+Gorder's ballpark on average.
+"""
+
+import numpy as np
+
+from repro.bench.experiments import experiment_table3
+
+
+def test_table3(benchmark, bench_scale, save_artifact):
+    result = benchmark.pedantic(
+        lambda: experiment_table3(
+            datasets=("YT", "BC", "GH", "SO", "YL", "ID", "S1", "S2"),
+            scale=bench_scale),
+        rounds=1, iterations=1)
+    save_artifact("table3", result.text)
+    border_gain, gorder_gain = [], []
+    border_wins = 0
+    for ds, cells in result.data.items():
+        assert cells["border"] <= cells["none"] * 1.02, ds
+        border_gain.append(cells["none"] / cells["border"])
+        gorder_gain.append(cells["none"] / cells["gorder"])
+        if cells["border"] <= cells["gorder"]:
+            border_wins += 1
+    assert float(np.mean(border_gain)) > 1.2
+    assert float(np.mean(border_gain)) >= 0.85 * float(np.mean(gorder_gain))
+    assert border_wins >= 2  # Border still wins on several datasets

@@ -1,0 +1,28 @@
+"""E7 — Table IV: load-balancing strategy comparison.
+
+Paper shape: both single strategies beat "No Balance"; pre-runtime beats
+runtime-only; the joint strategy is best in most scenarios (strictly so
+under heavy workloads).
+"""
+
+import numpy as np
+
+from repro.bench.experiments import experiment_table4
+
+
+def test_table4(benchmark, bench_scale, save_artifact):
+    result = benchmark.pedantic(
+        lambda: experiment_table4(datasets=("SO", "S2", "BC", "LF", "FR"),
+                                  scale=bench_scale),
+        rounds=1, iterations=1)
+    save_artifact("table4", result.text)
+    joint_wins = 0
+    for ds, cells in result.data.items():
+        assert cells["pre"] <= cells["none"] * 1.05, ds
+        assert cells["runtime"] <= cells["none"] * 1.05, ds
+        assert cells["joint"] <= cells["none"] * 1.05, ds
+        # pre-runtime's fine-grained split beats coarse runtime stealing
+        assert cells["pre"] <= cells["runtime"] * 1.10, ds
+        if cells["joint"] <= min(cells["pre"], cells["runtime"]) * 1.001:
+            joint_wins += 1
+    assert joint_wins >= 3  # joint best in most scenarios

@@ -1,0 +1,23 @@
+"""E9 — Table V (appendix): component cost breakdown of GBC.
+
+Paper shape: HTB transformation is tens-to-hundreds of milliseconds and a
+tiny fraction of counting on intersection-heavy datasets; Border reorder
+costs more but amortises across (p, q) queries.  We assert the HTB
+transform is small relative to the end-to-end pipeline on every dataset.
+"""
+
+from repro.bench.experiments import experiment_table5
+
+
+def test_table5(benchmark, bench_scale, save_artifact):
+    result = benchmark.pedantic(
+        lambda: experiment_table5(
+            datasets=("YT", "BC", "GH", "SO", "YL", "ID", "S1", "S2"),
+            scale=bench_scale),
+        rounds=1, iterations=1)
+    save_artifact("table5", result.text)
+    for ds, comp in result.data.items():
+        total = comp["htb_transform"] + comp["reorder"] + comp["counting"]
+        assert comp["htb_transform"] > 0, ds
+        assert comp["htb_transform"] < 0.5 * total, ds
+        assert comp["reorder"] > 0, ds

@@ -1,0 +1,71 @@
+"""(p, q)-biclique densest subgraph via greedy peeling.
+
+The paper's headline application [33]: the (p, q)-biclique density of a
+subgraph S is (#bicliques in S) / |S|, and the densest-subgraph search
+repeatedly needs biclique *counts* — exactly what GBC accelerates.
+
+This example implements the classic peeling heuristic: repeatedly remove
+the vertex whose removal loses the fewest bicliques, tracking the best
+density seen.  Every round is one biclique count, so the counter is the
+inner loop.
+"""
+
+import numpy as np
+
+from repro import BicliqueQuery, gbc_count, planted_bicliques
+from repro.graph.bipartite import LAYER_U, LAYER_V
+
+
+def biclique_density(graph, query) -> float:
+    """(p, q)-biclique density of the whole graph [33]."""
+    n = graph.num_u + graph.num_v
+    if n == 0:
+        return 0.0
+    return gbc_count(graph, query).count / n
+
+
+def peel_densest(graph, query, min_size: int = 4):
+    """Greedy peeling: drop the lowest-degree vertex each round."""
+    best_density = biclique_density(graph, query)
+    best = graph
+    current = graph
+    while current.num_u + current.num_v > min_size:
+        du = current.degrees(LAYER_U)
+        dv = current.degrees(LAYER_V)
+        if len(du) > 1 and (len(dv) <= 1 or du.min() <= dv.min()):
+            keep_u = np.delete(np.arange(current.num_u), int(du.argmin()))
+            keep_v = np.arange(current.num_v)
+        else:
+            keep_u = np.arange(current.num_u)
+            keep_v = np.delete(np.arange(current.num_v), int(dv.argmin()))
+        current = current.induced_subgraph(keep_u, keep_v, name="peeled")
+        density = biclique_density(current, query)
+        if density > best_density:
+            best_density, best = density, current
+    return best, best_density
+
+
+def main() -> None:
+    # a dense core (a planted 7x8 community) buried in noise
+    graph = planted_bicliques(40, 50, [(7, 8)], noise_edges=240, seed=3,
+                              name="noisy")
+    query = BicliqueQuery(2, 3)
+
+    whole = biclique_density(graph, query)
+    print(f"graph: {graph}")
+    print(f"(2,3)-biclique density of the whole graph: {whole:.2f}")
+
+    best, density = peel_densest(graph, query)
+    print(f"\npeeling result: |U|={best.num_u}, |V|={best.num_v}, "
+          f"density={density:.2f}")
+    print(f"density improvement: {density / max(whole, 1e-9):.1f}x")
+    assert density >= whole
+    # the survivor should be roughly the planted 7x8 core
+    assert best.num_u + best.num_v <= 25, "peeling failed to localise"
+    print("\nthe peeled subgraph isolates the planted dense community — "
+          "each peeling round is one biclique count, the operation GBC "
+          "makes cheap.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Out-of-memory counting with BCPar (§VI of the paper).
+
+When the graph (plus its 2-hop index) exceeds device memory, GBC splits
+it with the biclique-aware partitioner BCPar: every partition stores the
+full 1-/2-hop closure of its roots, so counting proceeds without any
+on-demand host-device traffic.  This example partitions the OR stand-in
+under a tight memory budget, validates the autonomy invariant, counts per
+partition, and compares throughput against the cut-oriented (METIS-like)
+baseline.
+"""
+
+from repro import BicliqueQuery, rtx_3090
+from repro.bench.datasets import load_dataset
+from repro.graph.bipartite import LAYER_U
+from repro.graph.twohop import build_two_hop_index
+from repro.partition.runner import (
+    recommended_budget_words,
+    run_bcpar,
+    run_metis_like,
+)
+
+
+def main() -> None:
+    graph = load_dataset("OR", scale="tiny")
+    query = BicliqueQuery(3, 3)
+    spec = rtx_3090()
+
+    # memory budget: a quarter of the full footprint (floored so at least
+    # one root's closure always fits)
+    index = build_two_hop_index(graph, LAYER_U, query.q)
+    budget = recommended_budget_words(graph, query.q, fraction=0.25)
+    print(f"graph: {graph}")
+    print(f"full footprint: {graph.num_edges + index.total_entries()} words; "
+          f"budget: {budget} words\n")
+
+    bc_report, pset = run_bcpar(graph, query, budget_words=budget)
+    pset.validate(index)  # the communication-free invariant, checked
+    print(f"BCPar: {pset.num_partitions} autonomous partitions, "
+          f"replication factor {pset.replication_factor():.2f}")
+    print(f"  count = {bc_report.total_count}")
+    print(f"  up-front transfer: {bc_report.initial_transfer_words} words; "
+          f"on-demand: {bc_report.on_demand_transfer_words} words "
+          "(always zero for BCPar)")
+
+    me_report, mres = run_metis_like(graph, query,
+                                     num_parts=max(pset.num_partitions, 2))
+    assert me_report.total_count == bc_report.total_count
+    print(f"\nMETIS-like: {mres.num_parts} parts, "
+          f"{mres.cut_edges} cut 2-hop edges")
+    print(f"  up-front transfer: {me_report.initial_transfer_words} words; "
+          f"on-demand: {me_report.on_demand_transfer_words} words")
+
+    bc_tp = bc_report.throughput(spec)
+    me_tp = me_report.throughput(spec)
+    me_intra, me_inter = me_report.split_throughputs(spec)
+    print(f"\nthroughput (bicliques per simulated second):")
+    print(f"  BCPar      : {bc_tp:.3g}")
+    print(f"  METIS-like : {me_tp:.3g}  "
+          f"(intra {me_intra:.3g}, inter {me_inter:.3g})")
+    print(f"  BCPar / METIS = {bc_tp / me_tp:.2f}x — the Fig. 10 result: "
+          "communication-free partitions beat cut-oriented ones.")
+
+
+if __name__ == "__main__":
+    main()

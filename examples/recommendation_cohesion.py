@@ -1,0 +1,74 @@
+"""Recommendation-style workload: cohesion signals on a user-item graph.
+
+The paper motivates (p, q)-biclique counting with recommender systems and
+GNN aggregation [53]: groups of p users all interacting with the same q
+items are the strongest co-preference signal there is (butterflies — the
+(2,2) case — are the classic instance).
+
+This example builds a synthetic user-item graph with planted co-purchase
+communities plus noise, then:
+
+1. counts butterflies two ways (wedge formula vs GBC) as a sanity check,
+2. sweeps (p, q) to show how the signal sharpens as the clique grows,
+3. ranks the planted communities by their observed biclique mass.
+"""
+
+import numpy as np
+
+from repro import (
+    BicliqueQuery,
+    butterfly_count,
+    from_edges,
+    gbc_count,
+    planted_bicliques,
+)
+from repro.graph.bipartite import LAYER_U
+
+
+def build_user_item_graph(seed: int = 7):
+    """Three co-purchase communities of different tightness, plus noise."""
+    return planted_bicliques(
+        num_u=60, num_v=80,
+        plant_sizes=[(8, 10), (6, 6), (5, 12)],
+        noise_edges=260,
+        seed=seed,
+        name="user-item")
+
+
+def main() -> None:
+    graph = build_user_item_graph()
+    print(f"user-item graph: {graph}\n")
+
+    # 1. butterflies, two independent ways
+    wedge = butterfly_count(graph)
+    gbc22 = gbc_count(graph, BicliqueQuery(2, 2))
+    assert wedge.count == gbc22.count
+    print(f"butterflies ((2,2)-bicliques): {wedge.count} "
+          "(wedge formula and GBC agree)\n")
+
+    # 2. sweep: bigger cliques isolate the planted structure from noise
+    print(f"{'(p,q)':>8} {'count':>14}")
+    for p, q in [(2, 2), (2, 4), (3, 3), (4, 4), (5, 5), (6, 6)]:
+        res = gbc_count(graph, BicliqueQuery(p, q))
+        print(f"({p},{q})".rjust(8) + f" {res.count:>14}")
+    print("\nnoise dominates small patterns; only the planted communities "
+          "survive at (5,5)+ — the reason cohesive-subgroup analysis wants "
+          "larger (p, q) and therefore fast counting.\n")
+
+    # 3. community strength: biclique mass inside each planted block
+    blocks = [(range(0, 8), range(0, 10)),
+              (range(8, 14), range(10, 16)),
+              (range(14, 19), range(16, 28))]
+    q = BicliqueQuery(3, 3)
+    print("community ranking by (3,3)-biclique mass:")
+    for i, (us, vs) in enumerate(blocks):
+        sub = graph.induced_subgraph(np.fromiter(us, dtype=np.int64),
+                                     np.fromiter(vs, dtype=np.int64),
+                                     name=f"community-{i}")
+        res = gbc_count(sub, q)
+        print(f"  community {i}: |U|={sub.num_u} |V|={sub.num_v} "
+              f"-> {res.count} (3,3)-bicliques")
+
+
+if __name__ == "__main__":
+    main()

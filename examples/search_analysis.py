@@ -1,0 +1,60 @@
+"""Analysis toolkit tour: profiler, sampling estimator, local counts.
+
+Three capabilities layered on the exact counting core:
+
+* ``profile_search`` measures the per-depth shape of the search tree —
+  the evidence behind the paper's hybrid DFS-BFS design (§IV: candidate
+  sets shrink with depth, starving warps under pure DFS);
+* ``estimate_count`` trades exactness for speed by sampling root search
+  trees (Horvitz-Thompson, unbiased);
+* ``local_biclique_counts`` attributes the count to individual vertices
+  (the GNN-aggregation use case the paper motivates).
+"""
+
+from repro import BicliqueQuery, power_law_bipartite
+from repro.core import (
+    brute_force_count,
+    estimate_count,
+    local_biclique_counts,
+    profile_search,
+)
+
+
+def main() -> None:
+    graph = power_law_bipartite(num_u=220, num_v=160, num_edges=900,
+                                seed=17, name="analysis")
+    query = BicliqueQuery(3, 3)
+    print(f"graph: {graph}, query {query}\n")
+
+    # 1. search-tree shape (the hybrid-exploration evidence)
+    profile = profile_search(graph, query)
+    print("search-tree profile (per depth):")
+    print(f"{'depth':>6} {'nodes':>8} {'mean|CL|':>10} {'mean|CR|':>10}")
+    for lv in profile.levels:
+        if lv.nodes:
+            print(f"{lv.depth:>6} {lv.nodes:>8} {lv.mean_cl:>10.1f} "
+                  f"{lv.mean_cr:>10.1f}")
+    print(f"candidate shrink ratio (deepest/first): "
+          f"{profile.shrink_ratio():.2f} — <1 means deep levels starve "
+          "fixed-size thread groups, the problem local BFS batching fixes\n")
+
+    # 2. sampled estimate vs truth
+    truth = brute_force_count(graph, query)
+    for samples in (8, 32, 128):
+        est = estimate_count(graph, query, samples=samples, seed=1)
+        print(f"estimate with {samples:>3} sampled roots: "
+              f"{est.estimate:>12.0f}  (truth {truth}, "
+              f"rel.err {est.relative_error(truth) * 100:.1f}%)")
+    print()
+
+    # 3. who participates most (aggregation weights)
+    local = local_biclique_counts(graph, query)
+    assert local.total == truth
+    print("top-5 U vertices by biclique participation:")
+    for vertex, count in local.top_vertices("U", k=5):
+        print(f"  u{vertex}: {count} bicliques "
+              f"(degree {graph.degree('U', vertex)})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""repro — reproduction of "Accelerating Biclique Counting on GPU" (ICDE'24).
+
+Public API quickstart::
+
+    from repro import BicliqueQuery, gbc_count, random_bipartite
+
+    g = random_bipartite(num_u=200, num_v=150, num_edges=900, seed=7)
+    result = gbc_count(g, BicliqueQuery(3, 4))
+    print(result.count, result.device_seconds)
+
+Packages:
+
+* :mod:`repro.graph` — bipartite CSR graphs, IO, generators, 2-hop index.
+* :mod:`repro.gpu` — the simulated SIMT device (warps, transactions,
+  cost model) standing in for the paper's RTX 3090.
+* :mod:`repro.htb` — Hierarchical Truncated Bitmap.
+* :mod:`repro.reorder` — Border / Gorder / degree reorderings.
+* :mod:`repro.balance` — pre-runtime + work-stealing load balancing.
+* :mod:`repro.partition` — BCPar and the METIS-like baseline.
+* :mod:`repro.core` — the counting algorithms (Basic, BCL, BCLP, GBL, GBC).
+* :mod:`repro.bench` — dataset stand-ins and paper experiment harness.
+"""
+
+from repro.core import (
+    BicliqueQuery,
+    CountResult,
+    DeviceRunResult,
+    GBCOptions,
+    basic_count,
+    bcl_count,
+    bclp_count,
+    brute_force_count,
+    butterfly_count,
+    gbc_count,
+    gbc_variant,
+    gbl_count,
+    run_pipeline,
+)
+from repro.graph import (
+    BipartiteGraph,
+    complete_bipartite,
+    from_adjacency,
+    from_edges,
+    paper_synthetic,
+    planted_bicliques,
+    power_law_bipartite,
+    random_bipartite,
+    read_edge_list,
+    star_bipartite,
+    write_edge_list,
+)
+from repro.gpu import DeviceSpec, rtx_3090, small_test_device
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "BicliqueQuery", "CountResult", "DeviceRunResult", "GBCOptions",
+    "basic_count", "bcl_count", "bclp_count", "gbl_count", "gbc_count",
+    "gbc_variant", "butterfly_count", "brute_force_count", "run_pipeline",
+    "BipartiteGraph", "from_edges", "from_adjacency", "complete_bipartite",
+    "random_bipartite", "power_law_bipartite", "paper_synthetic",
+    "planted_bicliques", "star_bipartite", "read_edge_list", "write_edge_list",
+    "DeviceSpec", "rtx_3090", "small_test_device",
+]

@@ -1,0 +1,22 @@
+"""Load balancing (§V-C): pre-runtime placement, work stealing, makespan."""
+
+from repro.balance.makespan import imbalance_factor, lpt_upper_bound, perfect_makespan
+from repro.balance.preruntime import (
+    contiguous_split,
+    interleaved_split,
+    split_loads,
+    weighted_greedy_split,
+)
+from repro.balance.strategies import (
+    STRATEGIES,
+    BalanceStrategy,
+    evaluate_strategy,
+    get_strategy,
+)
+
+__all__ = [
+    "contiguous_split", "interleaved_split", "weighted_greedy_split",
+    "split_loads",
+    "BalanceStrategy", "STRATEGIES", "get_strategy", "evaluate_strategy",
+    "perfect_makespan", "imbalance_factor", "lpt_upper_bound",
+]

@@ -1,0 +1,33 @@
+"""Makespan diagnostics for balance experiments."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["perfect_makespan", "imbalance_factor", "lpt_upper_bound"]
+
+
+def perfect_makespan(costs: np.ndarray, num_blocks: int) -> float:
+    """The unattainable ideal: total work spread perfectly, but never less
+    than the single largest task."""
+    costs = np.asarray(costs, dtype=np.float64)
+    if len(costs) == 0 or num_blocks <= 0:
+        return 0.0
+    return max(float(costs.sum()) / num_blocks, float(costs.max()))
+
+
+def imbalance_factor(block_loads: np.ndarray) -> float:
+    """max load / mean load; 1.0 means perfectly even."""
+    loads = np.asarray(block_loads, dtype=np.float64)
+    if len(loads) == 0:
+        return 1.0
+    mean = float(loads.mean())
+    return float(loads.max()) / mean if mean > 0 else 1.0
+
+
+def lpt_upper_bound(costs: np.ndarray, num_blocks: int) -> float:
+    """Graham's bound: LPT makespan <= (4/3 - 1/(3m)) * OPT."""
+    opt = perfect_makespan(costs, num_blocks)
+    if num_blocks <= 0:
+        return 0.0
+    return (4.0 / 3.0 - 1.0 / (3.0 * num_blocks)) * opt

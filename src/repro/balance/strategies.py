@@ -1,0 +1,76 @@
+"""The four load-balancing strategies of Table IV, as one evaluable object.
+
+``none``          static contiguous split, no stealing
+``pre``           weighted greedy (edge-oriented) split, no stealing
+``runtime``       contiguous split + work stealing
+``joint``         weighted greedy split + work stealing (the GBC default)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.balance.preruntime import (
+    contiguous_split,
+    interleaved_split,
+    weighted_greedy_split,
+)
+from repro.gpu.device import DeviceSpec
+from repro.gpu.workqueue import StealingResult, simulate_blocks
+
+__all__ = ["BalanceStrategy", "STRATEGIES", "get_strategy", "evaluate_strategy"]
+
+
+@dataclass(frozen=True)
+class BalanceStrategy:
+    """A named combination of static placement and runtime stealing."""
+
+    name: str
+    placement: str   # "contiguous" | "weighted" | "interleaved"
+    stealing: bool
+
+    def assign(self, weights: np.ndarray, num_blocks: int) -> list[list[int]]:
+        """Static placement of task indices onto blocks."""
+        n = len(weights)
+        if self.placement == "contiguous":
+            return contiguous_split(n, num_blocks)
+        if self.placement == "interleaved":
+            return interleaved_split(n, num_blocks)
+        if self.placement == "weighted":
+            return weighted_greedy_split(weights, num_blocks)
+        raise ValueError(f"unknown placement {self.placement!r}")
+
+
+STRATEGIES: dict[str, BalanceStrategy] = {
+    "none": BalanceStrategy("none", "contiguous", stealing=False),
+    "pre": BalanceStrategy("pre", "weighted", stealing=False),
+    "runtime": BalanceStrategy("runtime", "contiguous", stealing=True),
+    "joint": BalanceStrategy("joint", "weighted", stealing=True),
+}
+
+
+def get_strategy(name: str) -> BalanceStrategy:
+    """Look up one of the Table IV strategies by name."""
+    if name not in STRATEGIES:
+        raise ValueError(f"unknown strategy {name!r}; "
+                         f"expected one of {sorted(STRATEGIES)}")
+    return STRATEGIES[name]
+
+
+def evaluate_strategy(name: str,
+                      task_cycles: np.ndarray,
+                      weights: np.ndarray,
+                      num_blocks: int,
+                      spec: DeviceSpec) -> StealingResult:
+    """Schedule measured per-task cycles under a strategy (Table IV row).
+
+    ``weights`` are the *pre-runtime estimates* (second-level sizes) used
+    for placement; ``task_cycles`` are the true costs the schedule then
+    pays — the gap between the two is why runtime stealing still helps.
+    """
+    strategy = get_strategy(name)
+    assignment = strategy.assign(np.asarray(weights), num_blocks)
+    costs = [[float(task_cycles[i]) for i in blk] for blk in assignment]
+    return simulate_blocks(costs, spec, stealing=strategy.stealing)

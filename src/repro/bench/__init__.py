@@ -1,0 +1,50 @@
+"""Benchmark harness: dataset stand-ins and paper experiments."""
+
+from repro.bench.datasets import (
+    PAPER_STATS,
+    REGISTRY,
+    SCALES,
+    DatasetSpec,
+    list_datasets,
+    load_dataset,
+)
+from repro.bench.experiments import (
+    DEFAULT_QUERY,
+    FIG7_QUERIES,
+    FIG8_TOTALS,
+    ExperimentResult,
+    experiment_fig1b,
+    experiment_fig7,
+    experiment_fig8,
+    experiment_fig9,
+    experiment_fig10,
+    experiment_fig11,
+    experiment_table2,
+    experiment_table3,
+    experiment_table4,
+    experiment_table5,
+)
+from repro.bench.figures import render_breakdown_bars, render_series
+from repro.bench.runner import (
+    METHODS,
+    MethodRun,
+    headline_seconds,
+    run_matrix,
+    run_method,
+    speedup,
+)
+from repro.bench.tables import format_ratio, format_seconds, render_table
+
+__all__ = [
+    "DatasetSpec", "REGISTRY", "PAPER_STATS", "SCALES",
+    "load_dataset", "list_datasets",
+    "METHODS", "run_method", "run_matrix", "headline_seconds", "speedup",
+    "MethodRun",
+    "render_table", "render_series", "render_breakdown_bars",
+    "format_seconds", "format_ratio",
+    "ExperimentResult", "DEFAULT_QUERY", "FIG7_QUERIES", "FIG8_TOTALS",
+    "experiment_fig1b", "experiment_table2", "experiment_fig7",
+    "experiment_fig8", "experiment_fig9", "experiment_table3",
+    "experiment_table4", "experiment_fig10", "experiment_table5",
+    "experiment_fig11",
+]

@@ -1,0 +1,50 @@
+"""Text rendering of figure-shaped results (series per method).
+
+The paper's figures are line/bar charts of runtime vs a swept parameter;
+here each figure renders as one aligned column per sweep point and one
+row per method, which keeps benchmark logs diff-able.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.bench.tables import format_seconds, render_table
+
+__all__ = ["render_series", "render_breakdown_bars"]
+
+
+def render_series(title: str,
+                  x_label: str,
+                  x_values: Sequence[object],
+                  series: Mapping[str, Sequence[float]],
+                  formatter=format_seconds) -> str:
+    """Render {method -> [y per x]} as a table (one row per method)."""
+    header = [x_label] + [str(x) for x in x_values]
+    rows = []
+    for name, values in series.items():
+        rows.append([name] + [formatter(v) for v in values])
+    return render_table(title, header, rows)
+
+
+def render_breakdown_bars(title: str,
+                          labels: Sequence[str],
+                          fractions: Mapping[str, Sequence[float]],
+                          width: int = 40) -> str:
+    """Stacked-percentage pseudo-bars (the Fig. 1(b) layout).
+
+    ``fractions`` maps each component name to its per-label share in
+    [0, 1]; shares are drawn as proportional character runs.
+    """
+    comps = list(fractions)
+    glyphs = "#+.:*o"  # one glyph per component
+    lines = [title, "=" * len(title)]
+    for i, label in enumerate(labels):
+        bar = ""
+        pct = []
+        for c_idx, comp in enumerate(comps):
+            share = fractions[comp][i]
+            bar += glyphs[c_idx % len(glyphs)] * max(int(round(share * width)), 0)
+            pct.append(f"{comp}={share * 100:.1f}%")
+        lines.append(f"{label:<10} |{bar:<{width}}| " + "  ".join(pct))
+    return "\n".join(lines)

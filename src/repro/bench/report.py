@@ -1,0 +1,220 @@
+"""EXPERIMENTS.md generator: paper-vs-measured for every artifact.
+
+Reads the text artifacts written by ``pytest benchmarks/`` from
+``benchmarks/artifacts/`` and stitches them together with the paper's
+reported numbers and our shape verdicts.  Run as::
+
+    python -m repro.bench.report [artifact_dir] [output_md]
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["build_experiments_md", "EXPERIMENT_NOTES", "main"]
+
+
+@dataclass(frozen=True)
+class ExperimentNote:
+    """Provenance for one paper artifact."""
+
+    artifact: str            # file stem under benchmarks/artifacts/
+    title: str
+    paper_says: str
+    what_we_check: str
+    divergences: str = ""
+
+
+EXPERIMENT_NOTES: list[ExperimentNote] = [
+    ExperimentNote(
+        "fig1b", "Fig. 1(b) — BCL execution-time breakdown",
+        "Searching shared 1-hop (Comp. H') and 2-hop (Comp. S) neighbours "
+        "takes up to >99% of BCL's runtime, averaging ~97% over six "
+        "datasets — the motivation for optimising set intersection.",
+        "Instrumented BCL on the six stand-ins: intersection share >60% "
+        "on every dataset and >75% on average (Python overhead inflates "
+        "'Others' relative to a C++ build, so the ceiling is lower)."),
+    ExperimentNote(
+        "table2", "Table II — datasets",
+        "Nine real KONECT graphs (294K to 327M edges) plus two synthetic "
+        "graphs built by the power-law 2-hop recipe.",
+        "Deterministic stand-ins at 10^2-10^4x reduction preserving layer "
+        "ratios, mean-degree contrast, and skew; the table prints ours "
+        "next to the paper's mean degrees.",
+        "OR is regenerated with the locality-window recipe so that 2-hop "
+        "closures overlap (the sharing regime BCPar exploits on the "
+        "paper's dense 327M-edge original)."),
+    ExperimentNote(
+        "fig7", "Fig. 7 — overall performance",
+        "GBC is fastest everywhere: avg 505.3x over BCL, 146.7x over "
+        "BCLP, 15.7x over GBL; max 836.7x (GH) / 1217.6x (S2) over BCLP "
+        "at p=q=8.",
+        "GBC fastest in every (dataset, query) cell; speedup ordering "
+        "BCL > BCLP > 1 and GBL > 1.5x.  Absolute factors differ: CPU "
+        "baselines run in Python and the device is a cost model, so the "
+        "paper's hardware constants (10,496 CUDA cores vs 16 CPU "
+        "threads) are not reproduced, only the ordering and trends.",
+        "Queries are the halved grid (2,6)..(5,3); the (6,2) endpoint "
+        "has no paper analogue (q would fall below the paper's minimum "
+        "q/(p+q) = 1/4) and its barely-filtered N2^2 explodes, so the "
+        "sweep stops at (5,3).  SO is swapped for YL in this figure: "
+        "SO's anchor flip makes the deep/low-k corner intractable at "
+        "stand-in scale (it stays in Fig. 8 and Table IV)."),
+    ExperimentNote(
+        "fig8", "Fig. 8 — scalability vs (p + q)",
+        "GBC wins at every size (2.4x-6298.1x); CPU runtimes rise then "
+        "fall as p+q grows, GPU stays flat or falls.",
+        "Same shapes on totals {4,...,12} (paper: {8,...,24}): GBC <= "
+        "every baseline per size; BCL's peak lies strictly inside the "
+        "sweep on at least one dataset."),
+    ExperimentNote(
+        "fig9", "Fig. 9 — ablation (NH / NB / NW)",
+        "Disabling hybrid exploration (NH) costs 3.7x on average, HTB+"
+        "Border (NB) and workload balancing (NW) about 2.2x each.",
+        "All variant/GBC ratios > 0.9 with means > 1.1; NB's ratio is "
+        "largest on dense stand-ins (YL), NH's on sparse ones — matching "
+        "the paper's observation that hybrid exploration matters most at "
+        "low degree."),
+    ExperimentNote(
+        "table3", "Table III — vertex reordering",
+        "Versus no reorder: Gorder 2.4x, Border 3.1x average speedup; "
+        "Border beats Gorder on all datasets (37% average).",
+        "Border beats no-reorder on every stand-in (mean >1.2x) and wins "
+        "on several outright.",
+        "Our Gorder comparator is a bipartite-aware transcription "
+        "(per-layer windows); the paper used the original unipartite "
+        "Gorder, which reorders both layers jointly and performs worse. "
+        "Against the stronger comparator Border no longer wins "
+        "universally — the Border-vs-none column is the faithful part."),
+    ExperimentNote(
+        "table4", "Table IV — load balancing",
+        "Both single strategies beat No Balance; Pre-runtime beats "
+        "Runtime-only; Joint is best under heavy workloads (e.g. LF "
+        "9072s -> 7753s).",
+        "Same ordering on the stand-ins, evaluated by re-scheduling the "
+        "measured per-root cycle costs under each strategy on the "
+        "scaled device (24 resident blocks — see EXPERIMENTS notes)."),
+    ExperimentNote(
+        "fig10", "Fig. 10 — BCPar vs METIS partitioning",
+        "BCPar's throughput consistently exceeds METIS's; METIS's "
+        "inter-partition throughput is markedly inferior to intra and is "
+        "its bottleneck.",
+        "BCPar > METIS-like throughput for every query; BCPar has zero "
+        "on-demand transfer (autonomy validated structurally); METIS's "
+        "inter < intra.",
+        "METIS binary is unavailable offline; the baseline is a "
+        "multilevel-flavoured BFS-growing + refinement partitioner over "
+        "the same auxiliary 2-hop graph the paper feeds METIS."),
+    ExperimentNote(
+        "table5", "Table V — component breakdown",
+        "HTB transformation costs tens-to-hundreds of ms (< 1% of "
+        "counting, down to 1/10000); Border costs 0.18s-62.17s and "
+        "amortises across (p, q) queries.",
+        "HTB transform > 0 and < 50% of the pipeline on every dataset "
+        "(counting is simulated device time while transform/reorder are "
+        "host wall time, so the paper's extreme ratios compress)."),
+    ExperimentNote(
+        "fig11", "Fig. 11 — DFS vs hybrid DFS-BFS",
+        "Hybrid uses ~1.3x more memory (hundreds of MB vs 24 GB "
+        "capacity) but runs ~2.2x faster on average.",
+        "Peak working set ratio >= 1x and bounded; mean device-time "
+        "speedup > 1.1x with no dataset regressing past 0.9x."),
+    ExperimentNote(
+        "ablation_shared_memory", "Extension — shared-memory buffer sweep",
+        "(design-choice ablation; not in the paper)",
+        "Bigger batching buffers never reduce warp utilisation; counts "
+        "invariant."),
+    ExperimentNote(
+        "ablation_word_bits", "Extension — HTB word width sweep",
+        "(design-choice ablation; not in the paper)",
+        "Total HTB words are monotone non-increasing in word width; "
+        "32-bit is the transaction-aligned sweet spot the paper picked."),
+    ExperimentNote(
+        "ablation_warp_width", "Extension — warp width sweep",
+        "(design-choice ablation; not in the paper)",
+        "Wider warps never improve lane occupancy on sparse data."),
+    ExperimentNote(
+        "ablation_intersection", "Extension — intersection strategy shoot-out",
+        "(comparator study; binary search is the GBL baseline [21], "
+        "hashing is the TRUST-style alternative [34])",
+        "HTB uses the fewest memory transactions and comparisons of the "
+        "three strategies under identical accounting — the measured form "
+        "of the paper's Fig. 4 argument."),
+    ExperimentNote(
+        "ablation_core_pruning", "Extension — (q,p)-core pruning",
+        "(future-work-style extension; cores cited as [28])",
+        "Count-preserving peel removes a measurable share of edges and "
+        "never hurts device time materially."),
+]
+
+HEADER = """# EXPERIMENTS — paper vs measured
+
+Every table and figure of the paper's evaluation (§VII + appendix),
+regenerated by `pytest benchmarks/ --benchmark-only` on the synthetic
+dataset stand-ins (see DESIGN.md §4) and the simulated SIMT device
+(`repro.gpu`).  Conventions:
+
+* **counts are exact** — every method is cross-validated against a
+  brute-force counter; experiments additionally assert that all methods
+  agree cell by cell;
+* **times**: CPU methods report wall seconds of this Python
+  implementation (BCLP: modelled 16-thread makespan); device methods
+  report simulated seconds from the cycle cost model; comparisons are
+  therefore about *shape* (ordering, ratios, trends), not absolute
+  magnitudes — the reproduction brief's contract;
+* **scale mapping**: stand-ins are ~10^2-10^4x smaller than the paper's
+  graphs, so the paper's default (p,q) = (8,8) maps to (4,4), the
+  asymmetry grid (4,12)..(12,4) to (2,6)..(5,3), and the Fig. 8 sweep
+  {8..24} to {4..12};
+* **device scaling**: experiments run the RTX-3090 cost constants with
+  24 resident blocks instead of 164 so that the roots-per-block ratio
+  matches the paper's regime (with 164 blocks and a few hundred roots,
+  every balancing strategy trivially ties).
+
+Regenerate with:
+
+```bash
+pytest benchmarks/ --benchmark-only          # writes benchmarks/artifacts/
+python -m repro.bench.report                 # rebuilds this file
+```
+"""
+
+
+def build_experiments_md(artifact_dir: str | Path) -> str:
+    """Assemble EXPERIMENTS.md from saved artifacts and the notes table."""
+    artifact_dir = Path(artifact_dir)
+    parts = [HEADER]
+    for note in EXPERIMENT_NOTES:
+        parts.append(f"\n## {note.title}\n")
+        parts.append(f"**Paper says:** {note.paper_says}\n")
+        parts.append(f"**What we check:** {note.what_we_check}\n")
+        if note.divergences:
+            parts.append(f"**Divergences:** {note.divergences}\n")
+        path = artifact_dir / f"{note.artifact}.txt"
+        if path.exists():
+            parts.append("**Measured:**\n")
+            parts.append("```")
+            parts.append(path.read_text(encoding="utf-8").rstrip())
+            parts.append("```")
+        else:
+            parts.append(f"*(artifact {note.artifact}.txt not generated "
+                         "yet — run the benchmarks)*")
+    return "\n".join(parts) + "\n"
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry: rebuild EXPERIMENTS.md from artifacts."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    artifact_dir = Path(argv[0]) if argv else \
+        Path(__file__).resolve().parents[3] / "benchmarks" / "artifacts"
+    out = Path(argv[1]) if len(argv) > 1 else \
+        Path(__file__).resolve().parents[3] / "EXPERIMENTS.md"
+    out.write_text(build_experiments_md(artifact_dir), encoding="utf-8")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,115 @@
+"""Experiment runner utilities shared by the benchmark harness.
+
+One uniform interface over the five algorithms: run a method by name,
+extract its *headline time* (wall seconds for CPU methods, simulated
+device seconds for GPU-model methods — the same convention the paper's
+figures use when plotting CPU and GPU bars side by side), and tabulate
+speedups.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.basic import basic_count
+from repro.core.bcl import bcl_count
+from repro.core.bclp import bclp_count
+from repro.core.counts import BicliqueQuery, CountResult, DeviceRunResult
+from repro.core.gbc import GBCOptions, gbc_count, gbc_variant
+from repro.core.gbl import gbl_count
+from repro.gpu.device import DeviceSpec, rtx_3090
+from repro.graph.bipartite import BipartiteGraph
+
+__all__ = ["METHODS", "run_method", "headline_seconds", "MethodRun",
+           "run_matrix", "speedup"]
+
+METHODS = ("Basic", "BCL", "BCLP", "GBL", "GBC",
+           "GBC-NH", "GBC-NB", "GBC-NW")
+
+
+@dataclass
+class MethodRun:
+    """One (method, dataset, query) cell of an experiment matrix."""
+
+    method: str
+    dataset: str
+    query: BicliqueQuery
+    result: CountResult
+    measure_seconds: float
+
+    @property
+    def count(self) -> int:
+        return self.result.count
+
+    @property
+    def seconds(self) -> float:
+        return headline_seconds(self.result)
+
+
+def headline_seconds(result: CountResult) -> float:
+    """The figure-comparable runtime of a result.
+
+    Device-model algorithms report simulated device time; CPU algorithms
+    report (modelled, for BCLP) wall time.
+    """
+    if isinstance(result, DeviceRunResult):
+        return result.device_seconds
+    return result.wall_seconds
+
+
+def run_method(method: str, graph: BipartiteGraph, query: BicliqueQuery,
+               spec: DeviceSpec | None = None,
+               threads: int = 16) -> CountResult:
+    """Dispatch one of the paper's methods by name."""
+    spec = spec or rtx_3090()
+    if method == "Basic":
+        return basic_count(graph, query)
+    if method == "BCL":
+        return bcl_count(graph, query)
+    if method == "BCLP":
+        return bclp_count(graph, query, threads=threads)
+    if method == "GBL":
+        return gbl_count(graph, query, spec=spec)
+    if method == "GBC":
+        return gbc_count(graph, query, spec=spec)
+    if method.startswith("GBC-"):
+        return gbc_count(graph, query, spec=spec,
+                         options=gbc_variant(method.split("-", 1)[1]))
+    raise ValueError(f"unknown method {method!r}; expected one of {METHODS}")
+
+
+def run_matrix(graphs: dict[str, BipartiteGraph],
+               queries: list[BicliqueQuery],
+               methods: list[str],
+               spec: DeviceSpec | None = None,
+               check_agreement: bool = True) -> list[MethodRun]:
+    """Run every (dataset, query, method) cell; optionally cross-check
+    that all methods agree on the count (they must — all are exact)."""
+    spec = spec or rtx_3090()
+    runs: list[MethodRun] = []
+    for name, graph in graphs.items():
+        for query in queries:
+            counts: set[int] = set()
+            for method in methods:
+                t0 = time.perf_counter()
+                result = run_method(method, graph, query, spec=spec)
+                elapsed = time.perf_counter() - t0
+                runs.append(MethodRun(method=method, dataset=name,
+                                      query=query, result=result,
+                                      measure_seconds=elapsed))
+                counts.add(result.count)
+            if check_agreement and len(counts) > 1:
+                raise AssertionError(
+                    f"methods disagree on {name} {query}: {sorted(counts)}")
+    return runs
+
+
+def speedup(baseline: MethodRun | CountResult,
+            improved: MethodRun | CountResult) -> float:
+    """baseline time / improved time, in headline seconds."""
+    base = baseline.seconds if isinstance(baseline, MethodRun) \
+        else headline_seconds(baseline)
+    new = improved.seconds if isinstance(improved, MethodRun) \
+        else headline_seconds(improved)
+    return base / new if new > 0 else float("inf")

@@ -1,0 +1,52 @@
+"""Plain-text table rendering for experiment outputs.
+
+Every experiment prints its paper artifact as a monospace table so the
+benchmark logs read like the paper's tables; renderers are intentionally
+dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["render_table", "format_seconds", "format_ratio"]
+
+
+def format_seconds(value: float) -> str:
+    """Human-scaled seconds (the paper mixes ms-scale and hour-scale)."""
+    if value == float("inf"):
+        return "INF"
+    if value >= 100:
+        return f"{value:.0f}s"
+    if value >= 1:
+        return f"{value:.2f}s"
+    if value >= 1e-3:
+        return f"{value * 1e3:.2f}ms"
+    if value >= 1e-6:
+        return f"{value * 1e6:.2f}us"
+    return f"{value * 1e9:.1f}ns"
+
+
+def format_ratio(value: float) -> str:
+    """Render a speedup ratio as e.g. '2.00x'."""
+    if value == float("inf"):
+        return "inf"
+    return f"{value:.2f}x"
+
+
+def render_table(title: str,
+                 header: Sequence[str],
+                 rows: Sequence[Sequence[object]],
+                 min_width: int = 8) -> str:
+    """Render an aligned text table with a title rule."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [max(min_width, len(h)) for h in header]
+    for row in cells:
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(header)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(header))))
+    for row in cells:
+        lines.append("  ".join(c.ljust(widths[i]) for i, c in enumerate(row)))
+    return "\n".join(lines)

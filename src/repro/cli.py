@@ -1,0 +1,170 @@
+"""Command-line interface: count, enumerate, estimate, inspect, reproduce.
+
+Examples::
+
+    python -m repro count --dataset YT --scale tiny -p 3 -q 3
+    python -m repro count --graph my_edges.txt -p 2 -q 2 --method BCL
+    python -m repro enumerate --dataset S1 --scale tiny -p 3 -q 2 --limit 5
+    python -m repro estimate --dataset YT --scale bench -p 4 -q 4 --samples 32
+    python -m repro datasets
+    python -m repro experiment fig9 --scale tiny
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench import experiments as exp_mod
+from repro.bench.datasets import PAPER_STATS, list_datasets, load_dataset
+from repro.bench.runner import METHODS, headline_seconds, run_method
+from repro.bench.tables import format_seconds, render_table
+from repro.core.counts import BicliqueQuery, DeviceRunResult
+from repro.core.enumerate import enumerate_bicliques
+from repro.core.estimate import estimate_count
+from repro.graph.io import read_edge_list
+from repro.graph.stats import compute_stats
+
+__all__ = ["main", "build_parser"]
+
+EXPERIMENTS = {
+    "fig1b": exp_mod.experiment_fig1b,
+    "table2": exp_mod.experiment_table2,
+    "fig7": exp_mod.experiment_fig7,
+    "fig8": exp_mod.experiment_fig8,
+    "fig9": exp_mod.experiment_fig9,
+    "table3": exp_mod.experiment_table3,
+    "table4": exp_mod.experiment_table4,
+    "fig10": exp_mod.experiment_fig10,
+    "table5": exp_mod.experiment_table5,
+    "fig11": exp_mod.experiment_fig11,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse tree for every subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="(p,q)-biclique counting — GBC reproduction (ICDE'24)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_graph_args(p):
+        src = p.add_mutually_exclusive_group(required=True)
+        src.add_argument("--graph", help="edge-list file (plain or KONECT)")
+        src.add_argument("--dataset", choices=list_datasets(),
+                         help="a Table II stand-in")
+        p.add_argument("--scale", default="tiny",
+                       choices=("tiny", "bench", "full"),
+                       help="stand-in scale (default tiny)")
+
+    c = sub.add_parser("count", help="count (p,q)-bicliques")
+    add_graph_args(c)
+    c.add_argument("-p", type=int, required=True)
+    c.add_argument("-q", type=int, required=True)
+    c.add_argument("--method", default="GBC", choices=list(METHODS))
+
+    e = sub.add_parser("enumerate", help="list (p,q)-bicliques")
+    add_graph_args(e)
+    e.add_argument("-p", type=int, required=True)
+    e.add_argument("-q", type=int, required=True)
+    e.add_argument("--limit", type=int, default=20)
+
+    s = sub.add_parser("estimate", help="sampled approximate count")
+    add_graph_args(s)
+    s.add_argument("-p", type=int, required=True)
+    s.add_argument("-q", type=int, required=True)
+    s.add_argument("--samples", type=int, default=64)
+    s.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("datasets", help="list the Table II stand-ins")
+
+    x = sub.add_parser("experiment",
+                       help="regenerate one paper table/figure")
+    x.add_argument("name", choices=sorted(EXPERIMENTS))
+    x.add_argument("--scale", default="bench",
+                   choices=("tiny", "bench", "full"))
+    return parser
+
+
+def _load(args) -> object:
+    if args.graph:
+        return read_edge_list(args.graph)
+    return load_dataset(args.dataset, args.scale)
+
+
+def _cmd_count(args) -> int:
+    graph = _load(args)
+    query = BicliqueQuery(args.p, args.q)
+    result = run_method(args.method, graph, query)
+    print(f"graph: {graph}")
+    print(f"({args.p},{args.q})-bicliques: {result.count}")
+    print(f"method: {result.algorithm}, anchored layer: "
+          f"{result.anchored_layer}")
+    print(f"time: {format_seconds(headline_seconds(result))} "
+          f"({'simulated device' if isinstance(result, DeviceRunResult) else 'wall'})")
+    if isinstance(result, DeviceRunResult):
+        print(f"memory transactions: {result.metrics.global_transactions}; "
+              f"utilisation: {result.metrics.utilization * 100:.1f}%; "
+              f"steals: {result.steals}")
+    return 0
+
+
+def _cmd_enumerate(args) -> int:
+    graph = _load(args)
+    query = BicliqueQuery(args.p, args.q)
+    shown = 0
+    for left, right in enumerate_bicliques(graph, query, limit=args.limit):
+        print(f"L={list(left)} R={list(right)}")
+        shown += 1
+    if shown == 0:
+        print("(no bicliques)")
+    elif shown == args.limit:
+        print(f"... (stopped at --limit {args.limit})")
+    return 0
+
+
+def _cmd_estimate(args) -> int:
+    graph = _load(args)
+    query = BicliqueQuery(args.p, args.q)
+    res = estimate_count(graph, query, samples=args.samples, seed=args.seed)
+    print(f"estimate: {res.estimate:.1f} (+- {res.std_error:.1f} s.e.)")
+    print(f"sampled {res.samples} of {res.population} root trees "
+          f"in {format_seconds(res.wall_seconds)}")
+    return 0
+
+
+def _cmd_datasets(_args) -> int:
+    rows = []
+    for key in list_datasets():
+        g = load_dataset(key, "tiny")
+        s = compute_stats(g)
+        pu, pv, pe, _, _ = PAPER_STATS[key]
+        rows.append([key, s.num_u, s.num_v, s.num_edges,
+                     f"{pu}/{pv}/{pe}"])
+    print(render_table("Table II stand-ins (tiny scale)",
+                       ["key", "|U|", "|V|", "|E|", "paper |U|/|V|/|E|"],
+                       rows))
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    result = EXPERIMENTS[args.name](scale=args.scale)
+    print(result.text)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI dispatch; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "count": _cmd_count,
+        "enumerate": _cmd_enumerate,
+        "estimate": _cmd_estimate,
+        "datasets": _cmd_datasets,
+        "experiment": _cmd_experiment,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

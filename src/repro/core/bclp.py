@@ -1,0 +1,70 @@
+"""BCLP — the multi-threaded CPU parallelisation of BCL [53].
+
+The paper runs BCLP with 16 OS threads, each executing BCL on its share of
+root vertices.  CPython's GIL makes a real thread pool meaningless for a
+compute-bound reproduction, so BCLP is modelled the way the paper
+describes it: per-root costs are measured once by the instrumented BCL
+run, then list-scheduled onto T logical threads (each idle thread takes
+the next unprocessed root, exactly the paper's distribution of
+selected-layer vertices).  The reported ``wall_seconds`` is the schedule
+makespan plus the sequential preprocessing — deterministic, and faithful
+to the skew-limited scaling the paper observes.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+
+import numpy as np
+
+from repro.core.bcl import bcl_per_root_profile
+from repro.core.counts import BicliqueQuery, CountResult
+
+__all__ = ["bclp_count", "schedule_makespan"]
+
+DEFAULT_THREADS = 16
+
+
+def schedule_makespan(costs: list[float], threads: int) -> float:
+    """List-schedule costs in the given order over ``threads`` workers.
+
+    Each worker takes the next root when free — the paper's dynamic
+    distribution of vertices to CPU threads.
+    """
+    if not costs:
+        return 0.0
+    heap = [0.0] * min(threads, max(len(costs), 1))
+    heapq.heapify(heap)
+    for c in costs:
+        t = heapq.heappop(heap)
+        heapq.heappush(heap, t + c)
+    return max(heap)
+
+
+def bclp_count(graph, query: BicliqueQuery,
+               threads: int = DEFAULT_THREADS,
+               layer: str | None = None) -> CountResult:
+    """BCLP: BCL's per-root work list-scheduled over ``threads`` threads."""
+    start = time.perf_counter()
+    profile = bcl_per_root_profile(graph, query, layer)
+    sequential = sum(profile.per_root_seconds)
+    preprocessing = max(profile.seconds_total - sequential, 0.0)
+    makespan = schedule_makespan(profile.per_root_seconds, threads)
+    total = int(np.sum(np.asarray(profile.per_root_counts, dtype=object))) \
+        if profile.per_root_counts else 0
+    wall = time.perf_counter() - start
+    return CountResult(
+        algorithm="BCLP",
+        query=query,
+        count=total,
+        wall_seconds=preprocessing + makespan,
+        breakdown={
+            "threads": float(threads),
+            "sequential_seconds": sequential,
+            "preprocessing_seconds": preprocessing,
+            "makespan_seconds": makespan,
+            "speedup_vs_sequential": (sequential / makespan) if makespan else 1.0,
+        },
+        extras={"measurement_wall_seconds": wall},
+    )

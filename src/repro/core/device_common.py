@@ -1,0 +1,98 @@
+"""Shared machinery for the simulated-device counters (GBL and GBC).
+
+Both algorithms follow Algorithm 1's host-side recipe: anchor a layer,
+rank vertices by Definition-2 priority, materialise the rank-filtered
+N2^q index, filter unpromising roots, then hand each root's search tree
+to a thread block.  What differs is the per-root kernel (CSR binary
+search + pure DFS for GBL; HTB + hybrid DFS-BFS for GBC) and the block
+assignment policy — which is exactly the split this module encodes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.counts import BicliqueQuery, anchored_view
+from repro.graph.bipartite import BipartiteGraph, LAYER_U
+from repro.graph.priority import priority_order, priority_rank
+from repro.graph.twohop import TwoHopIndex, build_two_hop_index
+
+__all__ = ["DeviceInputs", "prepare_device_inputs", "assign_roots_to_blocks",
+           "BALANCE_STRATEGIES"]
+
+BALANCE_STRATEGIES = ("none", "pre", "runtime", "joint")
+
+
+@dataclass
+class DeviceInputs:
+    """Host-side preprocessing products shared by GBL and GBC."""
+
+    graph: BipartiteGraph          # anchored view (U is the selected layer)
+    p: int
+    q: int
+    anchored_layer: str
+    order: np.ndarray              # roots in priority order (high -> low)
+    rank: np.ndarray
+    index: TwoHopIndex             # rank-filtered N2^q
+    roots: np.ndarray              # promising roots, in priority order
+    prepare_seconds: float
+
+
+def prepare_device_inputs(graph: BipartiteGraph, query: BicliqueQuery,
+                          layer: str | None = None) -> DeviceInputs:
+    """Anchor, rank, build the 2-hop index and filter unpromising roots."""
+    t0 = time.perf_counter()
+    g, p, q, anchored = anchored_view(graph, query, layer)
+    rank = priority_rank(g, LAYER_U, q)
+    order = priority_order(g, LAYER_U, q)
+    index = build_two_hop_index(g, LAYER_U, q, min_priority_rank=rank)
+    promising = []
+    for root in order:
+        root = int(root)
+        if g.degree(LAYER_U, root) < q:
+            continue
+        if p > 1 and index.size(root) < p - 1:
+            continue
+        promising.append(root)
+    return DeviceInputs(
+        graph=g, p=p, q=q, anchored_layer=anchored,
+        order=order, rank=rank, index=index,
+        roots=np.asarray(promising, dtype=np.int64),
+        prepare_seconds=time.perf_counter() - t0,
+    )
+
+
+def assign_roots_to_blocks(roots: np.ndarray,
+                           weights: np.ndarray,
+                           num_blocks: int,
+                           strategy: str) -> list[list[int]]:
+    """Distribute root indices (positions into ``roots``) over blocks.
+
+    * ``none`` / ``runtime`` — contiguous equal-count chunks in priority
+      order (the naive split; ``runtime`` later adds stealing on top).
+    * ``pre`` / ``joint`` — the paper's pre-runtime edge-oriented policy:
+      greedy weighted assignment (weight = the root's number of
+      second-level search-tree vertices) to the currently lightest block,
+      heaviest roots first.
+    * ``interleave`` — GBL's ``i += gridDim`` striding (§III-B).
+    """
+    from repro.balance.preruntime import (
+        contiguous_split,
+        interleaved_split,
+        weighted_greedy_split,
+    )
+
+    n = len(roots)
+    if n == 0:
+        return [[] for _ in range(num_blocks)]
+    if strategy in ("none", "runtime"):
+        return contiguous_split(n, num_blocks)
+    if strategy == "interleave":
+        return interleaved_split(n, num_blocks)
+    if strategy in ("pre", "joint"):
+        return weighted_greedy_split(np.asarray(weights), num_blocks)
+    raise ValueError(f"unknown balance strategy {strategy!r}; "
+                     f"expected one of {BALANCE_STRATEGIES} or 'interleave'")

@@ -1,0 +1,101 @@
+"""Sampling-based approximate (p, q)-biclique counting.
+
+The exact count explodes combinatorially with (p, q); the literature the
+paper builds on uses sampling when exactness is unnecessary (butterfly
+estimation [36], near-clique sampling [33]).  This module implements a
+*root-sampling* estimator over the same duplicate-free search space as
+the exact counters:
+
+1. every root's search tree is an independent summand of the total
+   (that independence is what the paper parallelises);
+2. sample m roots with probability proportional to an importance weight
+   (their second-level size, the pre-runtime balance proxy), count their
+   subtrees exactly, and form the Horvitz-Thompson estimate.
+
+The estimator is unbiased for any weighting (proved by linearity — each
+root's contribution is inflated by 1/(m * pi_i)); tests check exactness
+in expectation over fixed seeds and exact recovery when m = all roots.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from math import comb, sqrt
+
+import numpy as np
+
+from repro.core.bcl import BCLProfile, _enumerate_root
+from repro.core.counts import BicliqueQuery, anchored_view
+from repro.graph.bipartite import BipartiteGraph, LAYER_U
+from repro.graph.priority import priority_rank
+from repro.graph.twohop import build_two_hop_index
+
+__all__ = ["EstimateResult", "estimate_count"]
+
+
+@dataclass
+class EstimateResult:
+    """A sampled estimate with its sampling diagnostics."""
+
+    query: BicliqueQuery
+    estimate: float
+    std_error: float
+    samples: int
+    population: int
+    wall_seconds: float
+
+    def relative_error(self, truth: int) -> float:
+        """|estimate - truth| / truth (for evaluation against exact runs)."""
+        if truth == 0:
+            return abs(self.estimate)
+        return abs(self.estimate - truth) / truth
+
+
+def estimate_count(graph: BipartiteGraph, query: BicliqueQuery,
+                   samples: int = 64,
+                   seed: int | None = 0,
+                   layer: str | None = None) -> EstimateResult:
+    """Horvitz-Thompson root-sampling estimate of the (p, q) count.
+
+    With ``samples`` >= the number of promising roots the estimator runs
+    every tree once and returns the exact count with zero variance.
+    """
+    start = time.perf_counter()
+    g, p, q, _ = anchored_view(graph, query, layer)
+    rank = priority_rank(g, LAYER_U, q)
+    index = build_two_hop_index(g, LAYER_U, q, min_priority_rank=rank)
+    roots = [u for u in range(g.num_u)
+             if g.degree(LAYER_U, u) >= q
+             and (p == 1 or index.size(u) >= p - 1)]
+    population = len(roots)
+    profile = BCLProfile()
+    if population == 0:
+        return EstimateResult(query, 0.0, 0.0, 0, 0,
+                              time.perf_counter() - start)
+
+    if samples >= population:
+        total = sum(_enumerate_root(g, index, r, p, q, profile)
+                    for r in roots)
+        return EstimateResult(query, float(total), 0.0, population,
+                              population, time.perf_counter() - start)
+
+    # importance weights: second-level sizes (0-weight roots can still
+    # carry bicliques when p == 1, so floor at 1)
+    weights = np.asarray([max(index.size(r), 1) for r in roots],
+                         dtype=np.float64)
+    pi = weights / weights.sum()
+    rng = np.random.default_rng(seed)
+    picks = rng.choice(population, size=samples, replace=True, p=pi)
+    contributions = np.empty(samples, dtype=np.float64)
+    cache: dict[int, int] = {}
+    for j, i in enumerate(picks):
+        root = roots[int(i)]
+        if root not in cache:
+            cache[root] = _enumerate_root(g, index, root, p, q, profile)
+        contributions[j] = cache[root] / pi[int(i)]
+    estimate = float(contributions.mean())
+    std_error = float(contributions.std(ddof=1) / sqrt(samples)) \
+        if samples > 1 else 0.0
+    return EstimateResult(query, estimate, std_error, samples, population,
+                          time.perf_counter() - start)

@@ -1,0 +1,323 @@
+"""GBC — GPU-based Biclique Counting (Algorithm 1), on the simulated device.
+
+The full system of the paper: hybrid DFS-BFS exploration (§IV), HTB
+truncated-bitmap intersections (§V-A), and joint pre-runtime + runtime
+load balancing (§V-C).  Each ingredient can be disabled independently,
+which yields the ablation variants of Fig. 9:
+
+* ``hybrid=False``  -> NH (pure DFS, per-child warp rounds, global keys)
+* ``use_htb=False`` -> NB (CSR parallel binary search)
+* ``balance="none"`` -> NW (naive contiguous split, no stealing)
+
+Counting is exact regardless of the toggles — they change the simulated
+execution (transactions, slot occupancy, shared-memory traffic, makespan),
+which is precisely what the paper's ablation measures.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from math import comb
+
+import numpy as np
+
+from repro.core.counts import BicliqueQuery, DeviceRunResult
+from repro.core.device_common import (
+    BALANCE_STRATEGIES,
+    assign_roots_to_blocks,
+    prepare_device_inputs,
+)
+from repro.errors import QueryError
+from repro.gpu.costmodel import effective_cycles
+from repro.gpu.device import DeviceSpec, rtx_3090
+from repro.gpu.intersect import binary_search_intersect
+from repro.gpu.memory import charge_stream
+from repro.gpu.metrics import KernelMetrics
+from repro.gpu.simt import record_work
+from repro.gpu.workqueue import simulate_blocks
+from repro.graph.bipartite import BipartiteGraph, LAYER_U
+from repro.htb.htb import HTB, BitmapSet, htb_from_graph, htb_from_two_hop, intersect_device
+
+__all__ = ["GBCOptions", "gbc_count", "gbc_variant"]
+
+
+@dataclass(frozen=True)
+class GBCOptions:
+    """Feature toggles and tuning knobs for a GBC run."""
+
+    hybrid: bool = True            # hybrid DFS-BFS exploration (§IV)
+    use_htb: bool = True           # HTB intersections (§V-A)
+    balance: str = "joint"         # none | pre | runtime | joint (§V-C)
+    num_blocks: int | None = None  # defaults to the device's resident blocks
+    batch_limit: int | None = None # cap on children per BFS batch (testing)
+
+    def __post_init__(self) -> None:
+        if self.balance not in BALANCE_STRATEGIES:
+            raise QueryError(
+                f"balance must be one of {BALANCE_STRATEGIES}, "
+                f"got {self.balance!r}")
+
+    @property
+    def variant_name(self) -> str:
+        """The paper's name for this configuration (GBC/NH/NB/NW)."""
+        if not self.hybrid and self.use_htb and self.balance == "joint":
+            return "GBC-NH"
+        if self.hybrid and not self.use_htb and self.balance == "joint":
+            return "GBC-NB"
+        if self.hybrid and self.use_htb and self.balance == "none":
+            return "GBC-NW"
+        if self.hybrid and self.use_htb and self.balance == "joint":
+            return "GBC"
+        return "GBC-custom"
+
+
+def gbc_variant(name: str) -> GBCOptions:
+    """Options for the paper's named variants: GBC, NH, NB, NW."""
+    table = {
+        "GBC": GBCOptions(),
+        "NH": GBCOptions(hybrid=False),
+        "NB": GBCOptions(use_htb=False),
+        "NW": GBCOptions(balance="none"),
+    }
+    if name not in table:
+        raise QueryError(f"unknown GBC variant {name!r}; "
+                         f"expected one of {sorted(table)}")
+    return table[name]
+
+
+class _WorkingSet:
+    """Tracks the kernel's intermediate-result footprint in words.
+
+    DFS holds one CL/CR pair per search level; hybrid BFS additionally
+    stages the duplicated parent set plus the batch's child results —
+    the 1.3x memory overhead of Fig. 11 made measurable.
+    """
+
+    def __init__(self) -> None:
+        self.current = 0
+        self.peak = 0
+
+    def push(self, words: int) -> None:
+        self.current += words
+        if self.current > self.peak:
+            self.peak = self.current
+
+    def pop(self, words: int) -> None:
+        self.current -= words
+
+
+@dataclass
+class _RootKernel:
+    """Per-root search executor (one simulated thread block)."""
+
+    inputs: object
+    spec: DeviceSpec
+    opts: GBCOptions
+    htb1: HTB | None
+    htb2: HTB | None
+    metrics: KernelMetrics = field(default_factory=KernelMetrics)
+    working: _WorkingSet = field(default_factory=_WorkingSet)
+    total: int = 0
+
+    # -- representation helpers ---------------------------------------
+    def _batch_size(self, cl_words: int) -> int:
+        """⌊|B| / |CL[l-1]|⌋ with B the shared-memory buffer (§IV)."""
+        if not self.opts.hybrid:
+            return 1
+        buffer_words = self.spec.shared_mem_per_block // 4
+        size = max(1, buffer_words // max(cl_words, 1))
+        if self.opts.batch_limit is not None:
+            size = min(size, self.opts.batch_limit)
+        return size
+
+    # -- HTB path ------------------------------------------------------
+    def _run_htb(self, root: int, p: int, q: int) -> None:
+        htb1, htb2 = self.htb1, self.htb2
+        cr0 = htb1.view(root)
+        cl0 = htb2.view(root)
+        charge_stream(self.metrics, self.spec,
+                      2 * (cr0.num_words + cl0.num_words))
+        if p == 1:
+            self.total += comb(cr0.count(), q)
+            return
+        self._rec_htb(1, cl0, cr0, p, q)
+
+    def _rec_htb(self, depth: int, cl: BitmapSet, cr: BitmapSet,
+                 p: int, q: int) -> None:
+        children = cl.vertices()
+        parent_words = 2 * (cl.num_words + cr.num_words)
+        self.working.push(parent_words)
+        batch = self._batch_size(parent_words)
+        hybrid = self.opts.hybrid and batch > 1
+        for start in range(0, len(children), batch):
+            group = children[start:start + batch]
+            if hybrid:
+                # one global->shared staging of the parent sets, duplicated
+                # |group| times in the shared buffer
+                charge_stream(self.metrics, self.spec, parent_words)
+                dup_words = parent_words * len(group)
+                self.metrics.note_shared_peak(4 * dup_words)
+                self.working.push(dup_words)
+                record_work(self.metrics, self.spec,
+                            len(group) * max(cl.num_words, cr.num_words),
+                            self.spec.warps_per_block)
+            results = []
+            for u in group:
+                u = int(u)
+                new_cr = intersect_device(
+                    cr, self.htb1.view(u), self.spec, self.metrics,
+                    warps=self.spec.warps_per_block,
+                    base_word=self.htb1.base_word(u),
+                    keys_in_shared=hybrid, record_slots=not hybrid)
+                if new_cr.count() < q:
+                    continue
+                if depth + 1 == p:
+                    self.total += comb(new_cr.count(), q)
+                    continue
+                new_cl = intersect_device(
+                    cl, self.htb2.view(u), self.spec, self.metrics,
+                    warps=self.spec.warps_per_block,
+                    base_word=self.htb2.base_word(u),
+                    keys_in_shared=hybrid, record_slots=not hybrid)
+                if new_cl.count() < p - depth - 1:
+                    continue
+                results.append((new_cl, new_cr))
+            if hybrid:
+                self.working.pop(parent_words * len(group))
+            for new_cl, new_cr in results:
+                self._rec_htb(depth + 1, new_cl, new_cr, p, q)
+        self.working.pop(parent_words)
+
+    # -- CSR path (NB variant) ----------------------------------------
+    def _run_csr(self, root: int, p: int, q: int) -> None:
+        g = self.inputs.graph
+        index = self.inputs.index
+        cr0 = g.neighbors(LAYER_U, root)
+        cl0 = index.of(root)
+        charge_stream(self.metrics, self.spec, len(cr0) + len(cl0))
+        if p == 1:
+            self.total += comb(len(cr0), q)
+            return
+        self._rec_csr(1, cl0, cr0, p, q)
+
+    def _rec_csr(self, depth: int, cl: np.ndarray, cr: np.ndarray,
+                 p: int, q: int) -> None:
+        g = self.inputs.graph
+        index = self.inputs.index
+        parent_words = len(cl) + len(cr)
+        self.working.push(parent_words)
+        batch = self._batch_size(parent_words)
+        hybrid = self.opts.hybrid and batch > 1
+        for start in range(0, len(cl), batch):
+            group = cl[start:start + batch]
+            if hybrid:
+                charge_stream(self.metrics, self.spec, parent_words)
+                dup_words = parent_words * len(group)
+                self.metrics.note_shared_peak(4 * dup_words)
+                self.working.push(dup_words)
+                record_work(self.metrics, self.spec,
+                            len(group) * max(len(cl), len(cr)),
+                            self.spec.warps_per_block)
+            results = []
+            for u in group:
+                u = int(u)
+                new_cr = binary_search_intersect(
+                    cr, g.neighbors(LAYER_U, u), self.spec, self.metrics,
+                    warps=self.spec.warps_per_block,
+                    base_word=int(g.u_offsets[u]),
+                    record_slots=not hybrid)
+                if len(new_cr) < q:
+                    continue
+                if depth + 1 == p:
+                    self.total += comb(len(new_cr), q)
+                    continue
+                new_cl = binary_search_intersect(
+                    cl, index.of(u), self.spec, self.metrics,
+                    warps=self.spec.warps_per_block,
+                    base_word=int(index.offsets[u]),
+                    record_slots=not hybrid)
+                if len(new_cl) < p - depth - 1:
+                    continue
+                results.append((new_cl, new_cr))
+            if hybrid:
+                self.working.pop(parent_words * len(group))
+            for new_cl, new_cr in results:
+                self._rec_csr(depth + 1, new_cl, new_cr, p, q)
+        self.working.pop(parent_words)
+
+    # -------------------------------------------------------------
+    def run(self, root: int, p: int, q: int) -> None:
+        if self.opts.use_htb:
+            self._run_htb(root, p, q)
+        else:
+            self._run_csr(root, p, q)
+
+
+def gbc_count(graph: BipartiteGraph, query: BicliqueQuery,
+              spec: DeviceSpec | None = None,
+              options: GBCOptions | None = None,
+              layer: str | None = None) -> DeviceRunResult:
+    """Count (p, q)-bicliques with GBC on the simulated device.
+
+    Returns a :class:`DeviceRunResult` whose ``breakdown`` carries the
+    Table V components (HTB transform seconds, counting makespan) and the
+    utilisation/imbalance diagnostics used across §VII.
+    """
+    spec = spec or rtx_3090()
+    opts = options or GBCOptions()
+    wall0 = time.perf_counter()
+    inputs = prepare_device_inputs(graph, query, layer)
+    blocks = opts.num_blocks or spec.blocks_per_launch
+
+    htb1 = htb2 = None
+    htb_seconds = 0.0
+    if opts.use_htb:
+        t0 = time.perf_counter()
+        htb1 = htb_from_graph(inputs.graph, LAYER_U)
+        htb2 = htb_from_two_hop(inputs.index)
+        htb_seconds = time.perf_counter() - t0
+
+    total = 0
+    per_root_cycles: list[float] = []
+    agg = KernelMetrics()
+    peak_words = 0
+    for root in inputs.roots:
+        kernel = _RootKernel(inputs=inputs, spec=spec, opts=opts,
+                             htb1=htb1, htb2=htb2)
+        kernel.run(int(root), inputs.p, inputs.q)
+        total += kernel.total
+        per_root_cycles.append(effective_cycles(kernel.metrics, spec))
+        agg.merge(kernel.metrics)
+        peak_words = max(peak_words, kernel.working.peak)
+
+    weights = np.asarray([inputs.index.size(int(r)) for r in inputs.roots],
+                         dtype=np.float64)
+    assignment = assign_roots_to_blocks(inputs.roots, weights, blocks,
+                                        opts.balance)
+    costs = [[per_root_cycles[i] for i in blk] for blk in assignment]
+    stealing = opts.balance in ("runtime", "joint")
+    sched = simulate_blocks(costs, spec, stealing=stealing)
+
+    return DeviceRunResult(
+        algorithm=opts.variant_name,
+        query=query,
+        count=total,
+        wall_seconds=time.perf_counter() - wall0,
+        anchored_layer=inputs.anchored_layer,
+        metrics=agg,
+        makespan_cycles=sched.makespan_cycles,
+        device_seconds=spec.seconds(sched.makespan_cycles),
+        steals=sched.steals,
+        peak_working_set_bytes=4 * peak_words,
+        per_root_cycles=per_root_cycles,
+        root_weights=weights.tolist(),
+        breakdown={
+            "prepare_seconds": inputs.prepare_seconds,
+            "htb_transform_seconds": htb_seconds,
+            "imbalance": sched.imbalance,
+            "utilization": agg.utilization,
+            "htb_bytes": float((htb1.nbytes + htb2.nbytes)
+                               if opts.use_htb else 0.0),
+        },
+    )

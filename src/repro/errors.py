@@ -1,0 +1,43 @@
+"""Exception hierarchy for the repro package.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single type at API boundaries while still distinguishing specific failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class GraphFormatError(ReproError):
+    """A graph file or edge list is structurally invalid."""
+
+
+class GraphValidationError(ReproError):
+    """An in-memory graph violates a structural invariant."""
+
+
+class QueryError(ReproError):
+    """A (p, q) biclique query is invalid (e.g. p < 1)."""
+
+
+class DeviceError(ReproError):
+    """The simulated GPU device was misconfigured or misused."""
+
+
+class SharedMemoryExceeded(DeviceError):
+    """A kernel tried to allocate more shared memory than the SM provides."""
+
+
+class DeviceMemoryExceeded(DeviceError):
+    """A graph or working set does not fit in simulated global memory."""
+
+
+class PartitionError(ReproError):
+    """Graph partitioning failed or produced an invalid partition."""
+
+
+class ReorderError(ReproError):
+    """A vertex reordering is not a valid permutation of a layer."""

@@ -1,0 +1,32 @@
+"""Simulated SIMT GPU substrate: device model, memory coalescing,
+intersection primitives, work stealing and the cycle cost model."""
+
+from repro.gpu.costmodel import effective_cycles, kernel_cycles, kernel_seconds
+from repro.gpu.device import DeviceSpec, rtx_3090, small_test_device
+from repro.gpu.hashjoin import HashedList, build_hash_table, hash_intersect
+from repro.gpu.intersect import (
+    binary_search_intersect,
+    membership_mask,
+    merge_intersect,
+)
+from repro.gpu.memory import (
+    charge_gather,
+    charge_stream,
+    transactions_for_gather,
+    transactions_for_stream,
+)
+from repro.gpu.metrics import KernelMetrics
+from repro.gpu.simt import SlotRounds, record_work, slot_rounds, warp_chunks
+from repro.gpu.workqueue import StealingResult, simulate_blocks
+
+__all__ = [
+    "DeviceSpec", "rtx_3090", "small_test_device",
+    "KernelMetrics",
+    "binary_search_intersect", "merge_intersect", "membership_mask",
+    "charge_gather", "charge_stream",
+    "transactions_for_gather", "transactions_for_stream",
+    "SlotRounds", "slot_rounds", "record_work", "warp_chunks",
+    "StealingResult", "simulate_blocks",
+    "kernel_cycles", "kernel_seconds", "effective_cycles",
+    "HashedList", "build_hash_table", "hash_intersect",
+]

@@ -1,0 +1,53 @@
+"""Cycle/latency cost model: metrics -> simulated cycles and seconds.
+
+A deliberately simple linear model: each class of counted event carries a
+per-event cycle cost from the :class:`DeviceSpec`.  The model does not try
+to match RTX 3090 wall-clock (out of scope per the reproduction brief) —
+what matters is that the *ratios* between algorithm variants track their
+transaction/comparison/utilisation differences, which is how every figure
+in §VII compares methods.
+"""
+
+from __future__ import annotations
+
+from repro.gpu.device import DeviceSpec
+from repro.gpu.metrics import KernelMetrics
+
+__all__ = ["kernel_cycles", "kernel_seconds", "effective_cycles"]
+
+
+def kernel_cycles(metrics: KernelMetrics, spec: DeviceSpec) -> float:
+    """Total serial cycles implied by the collected metrics."""
+    return (
+        metrics.global_transactions * spec.global_latency_cycles
+        + metrics.shared_accesses * spec.shared_latency_cycles
+        + (metrics.comparisons + metrics.alu_ops + metrics.bitwise_ops)
+        * spec.cycles_per_op
+        + metrics.atomics * spec.atomic_latency_cycles
+    )
+
+
+def effective_cycles(metrics: KernelMetrics, spec: DeviceSpec) -> float:
+    """Cycles corrected for thread under-utilisation.
+
+    Idle lanes still occupy issue slots: a round that keeps only 25% of
+    lanes busy takes as long as a full round.  We therefore inflate the
+    compute component by 1/utilisation, leaving memory traffic (already
+    counted per transaction) untouched.
+    """
+    util = max(metrics.utilization, 1e-9)
+    mem = (metrics.global_transactions * spec.global_latency_cycles
+           + metrics.shared_accesses * spec.shared_latency_cycles
+           + metrics.atomics * spec.atomic_latency_cycles)
+    compute = ((metrics.comparisons + metrics.alu_ops + metrics.bitwise_ops)
+               * spec.cycles_per_op)
+    return mem + compute / util
+
+
+def kernel_seconds(metrics: KernelMetrics, spec: DeviceSpec,
+                   parallel_blocks: int | None = None) -> float:
+    """Simulated seconds assuming ``parallel_blocks`` blocks share the work
+    evenly (an idealised bound; the balance simulator gives the real
+    makespan)."""
+    blocks = parallel_blocks or spec.blocks_per_launch
+    return spec.seconds(effective_cycles(metrics, spec) / max(blocks, 1))

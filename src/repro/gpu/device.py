@@ -1,0 +1,82 @@
+"""Simulated GPU device description.
+
+The reproduction has no physical GPU, so the paper's RTX 3090 is replaced
+by a parameterised :class:`DeviceSpec` consumed by the SIMT execution and
+cost models.  The defaults mirror the paper's platform (§VII-A): 82 SMs,
+10,496 CUDA cores, 24 GB of global memory, 32-thread warps, and 128-byte
+coalesced memory transactions (32 consecutive 4-byte words).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DeviceError
+
+__all__ = ["DeviceSpec", "rtx_3090", "small_test_device"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of a simulated CUDA-like device."""
+
+    name: str
+    num_sms: int
+    cores_per_sm: int
+    warp_size: int = 32
+    blocks_per_launch: int = 164  # resident blocks (2 per SM on the 3090)
+    warps_per_block: int = 8
+    shared_mem_per_block: int = 48 * 1024   # bytes
+    global_mem_bytes: int = 24 * 1024**3
+    transaction_bytes: int = 128            # one coalesced transaction
+    global_latency_cycles: int = 400        # global memory round trip
+    shared_latency_cycles: int = 30         # shared memory access
+    cycles_per_op: float = 1.0              # ALU op / comparison
+    atomic_latency_cycles: int = 600        # atomicCAS-style lock cost
+    clock_hz: float = 1.695e9               # boost clock of the 3090
+    pcie_bytes_per_second: float = 16e9     # host<->device transfer (PCIe 3 x16)
+
+    def __post_init__(self) -> None:
+        if self.warp_size <= 0 or self.num_sms <= 0:
+            raise DeviceError("warp size and SM count must be positive")
+        if self.transaction_bytes % 4 != 0:
+            raise DeviceError("transaction size must hold whole 4-byte words")
+
+    @property
+    def total_cores(self) -> int:
+        """Total CUDA cores on the device."""
+        return self.num_sms * self.cores_per_sm
+
+    @property
+    def threads_per_block(self) -> int:
+        """Threads in one block (warps_per_block * warp_size)."""
+        return self.warps_per_block * self.warp_size
+
+    @property
+    def words_per_transaction(self) -> int:
+        """4-byte words moved by one coalesced global-memory transaction."""
+        return self.transaction_bytes // 4
+
+    def seconds(self, cycles: float) -> float:
+        """Convert simulated cycles into simulated seconds."""
+        return cycles / self.clock_hz
+
+
+def rtx_3090() -> DeviceSpec:
+    """The paper's evaluation GPU (NVIDIA GeForce RTX 3090)."""
+    return DeviceSpec(name="RTX3090-sim", num_sms=82, cores_per_sm=128)
+
+
+def small_test_device(warps_per_block: int = 2,
+                      blocks: int = 4,
+                      shared_mem: int = 2048) -> DeviceSpec:
+    """A tiny device making batching/occupancy effects visible in tests."""
+    return DeviceSpec(
+        name="test-device",
+        num_sms=2,
+        cores_per_sm=64,
+        blocks_per_launch=blocks,
+        warps_per_block=warps_per_block,
+        shared_mem_per_block=shared_mem,
+        global_mem_bytes=64 * 1024 * 1024,
+    )

@@ -1,0 +1,197 @@
+"""Simulated device set-intersection primitives.
+
+Two families, matching §III-B and §V-A of the paper:
+
+* :func:`binary_search_intersect` — the GPU baseline: lanes of a warp each
+  take one key from the smaller (sorted) set and binary-search the larger
+  one in lock step.  Every probe gathers from global memory, and the
+  simulator charges one transaction per distinct 128-byte segment touched
+  by each warp in that step (the Example 5 behaviour).
+
+* :func:`merge_intersect` — the CPU linear merge used by BCL; no device
+  accounting, but it reports comparison counts for the Fig. 1(b) breakdown.
+
+The HTB bitmap intersection lives in :mod:`repro.htb.htb` and reuses the
+same charging utilities so transaction counts are directly comparable.
+
+All lanes of all warps advance together (vectorised over the whole key
+array); transactions are still accounted per (warp, aligned segment) pair,
+which is exactly what chunk-by-chunk simulation would produce.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpu.device import DeviceSpec
+from repro.gpu.memory import charge_stream
+from repro.gpu.metrics import KernelMetrics
+from repro.gpu.simt import record_work
+
+__all__ = ["binary_search_intersect", "merge_intersect", "membership_mask"]
+
+# any value larger than every possible word index / warp count works as a
+# mixing radix for (warp, segment) pair deduplication
+_PAIR_RADIX = np.int64(1) << 40
+
+
+def _lockstep_binary_search_small(keys: np.ndarray, lst: np.ndarray,
+                                  spec: DeviceSpec, metrics: KernelMetrics,
+                                  base_word: int) -> np.ndarray:
+    """Pure-Python lock-step search for small inputs.
+
+    Identical accounting to the vectorised path — per halving step, one
+    transaction per distinct (warp, aligned segment) pair among active
+    lanes — but with plain ints, which is several times faster below a
+    few hundred key*step operations.
+    """
+    keys_l = keys.tolist()
+    lst_l = lst.tolist()
+    n = len(lst_l)
+    warp_size = spec.warp_size
+    words_per_txn = spec.words_per_transaction
+    lo = [0] * len(keys_l)
+    hi = [n] * len(keys_l)
+    txns = 0
+    words = 0
+    comparisons = 0
+    active = list(range(len(keys_l)))
+    while active:
+        segs: set[tuple[int, int]] = set()
+        still = []
+        for i in active:
+            mid = (lo[i] + hi[i]) >> 1
+            segs.add((i // warp_size, (mid + base_word) // words_per_txn))
+            comparisons += 1
+            if lst_l[mid] < keys_l[i]:
+                lo[i] = mid + 1
+            else:
+                hi[i] = mid
+            if lo[i] < hi[i]:
+                still.append(i)
+        txns += len(segs)
+        words += len(active)
+        active = still
+    found = np.zeros(len(keys_l), dtype=bool)
+    segs = set()
+    for i in range(len(keys_l)):
+        pos = lo[i]
+        if pos < n:
+            segs.add((i // warp_size, (pos + base_word) // words_per_txn))
+            comparisons += 1
+            words += 1
+            found[i] = lst_l[pos] == keys_l[i]
+    txns += len(segs)
+    metrics.global_transactions += txns
+    metrics.global_words += words
+    metrics.comparisons += comparisons
+    return found
+
+
+def _lockstep_binary_search(keys: np.ndarray, lst: np.ndarray,
+                            spec: DeviceSpec, metrics: KernelMetrics,
+                            base_word: int) -> np.ndarray:
+    """Lower-bound search of each key in ``lst`` with per-step gathers.
+
+    Lane i belongs to warp i // warp_size; each halving step charges, per
+    warp, one transaction per distinct aligned segment its active lanes
+    probe.  Returns a boolean membership mask for ``keys``.
+    """
+    if len(keys) * max(len(lst).bit_length(), 1) < 2048:
+        return _lockstep_binary_search_small(keys, lst, spec, metrics,
+                                             base_word)
+    return _lockstep_binary_search_vec(keys, lst, spec, metrics, base_word)
+
+
+def _lockstep_binary_search_vec(keys: np.ndarray, lst: np.ndarray,
+                                spec: DeviceSpec, metrics: KernelMetrics,
+                                base_word: int) -> np.ndarray:
+    """Vectorised lock-step search (same accounting as the small path)."""
+    n_keys = len(keys)
+    warp_of = np.arange(n_keys, dtype=np.int64) // spec.warp_size
+    words_per_txn = spec.words_per_transaction
+    lo = np.zeros(n_keys, dtype=np.int64)
+    hi = np.full(n_keys, len(lst), dtype=np.int64)
+
+    def charge(positions: np.ndarray, warps: np.ndarray) -> None:
+        segments = (positions + base_word) // words_per_txn
+        pairs = warps * _PAIR_RADIX + segments
+        metrics.global_transactions += len(np.unique(pairs))
+        metrics.global_words += len(positions)
+
+    while True:
+        active = lo < hi
+        if not active.any():
+            break
+        mid = (lo + hi) // 2
+        probe = mid[active]
+        charge(probe, warp_of[active])
+        vals = lst[probe]
+        metrics.comparisons += int(active.sum())
+        less = np.zeros(n_keys, dtype=bool)
+        less[active] = vals < keys[active]
+        lo = np.where(active & less, mid + 1, lo)
+        hi = np.where(active & ~less, mid, hi)
+    found = np.zeros(n_keys, dtype=bool)
+    in_range = lo < len(lst)
+    if in_range.any():
+        probe = lo[in_range]
+        charge(probe, warp_of[in_range])
+        metrics.comparisons += int(in_range.sum())
+        found[in_range] = lst[probe] == keys[in_range]
+    return found
+
+
+def binary_search_intersect(keys: np.ndarray, lst: np.ndarray,
+                            spec: DeviceSpec, metrics: KernelMetrics,
+                            warps: int = 1,
+                            base_word: int = 0,
+                            record_slots: bool = True) -> np.ndarray:
+    """Intersect sorted ``keys`` with sorted ``lst`` on the simulated device.
+
+    ``keys`` plays the role of CL[l-1] (the smaller set, one key per lane)
+    and ``lst`` the adjacency list N(u) / N2^q(u) in global memory starting
+    at word offset ``base_word``.  Returns the sorted intersection and
+    accumulates transactions, comparisons and slot occupancy in
+    ``metrics``.
+    """
+    metrics.intersection_calls += 1
+    if len(keys) == 0 or len(lst) == 0:
+        return np.empty(0, dtype=np.int64)
+    # the warp streams its keys in from global memory (coalesced)
+    charge_stream(metrics, spec, len(keys))
+    if record_slots:
+        record_work(metrics, spec, len(keys), warps)
+    mask = _lockstep_binary_search(keys, lst, spec, metrics, base_word)
+    result = keys[mask]
+    if len(result):
+        charge_stream(metrics, spec, len(result))  # write-back of CL[l]
+        metrics.results_written += len(result)
+    return result
+
+
+def merge_intersect(a: np.ndarray, b: np.ndarray,
+                    comparisons: list[int] | None = None) -> np.ndarray:
+    """Sorted-merge intersection (the CPU path used by Basic/BCL).
+
+    When ``comparisons`` (a single-cell list) is given, the merge's
+    element-comparison count is added to it — this feeds the Fig. 1(b)
+    time-breakdown instrumentation.
+    """
+    if comparisons is not None:
+        comparisons[0] += len(a) + len(b)
+    if len(a) == 0 or len(b) == 0:
+        return np.empty(0, dtype=np.int64)
+    return np.intersect1d(a, b, assume_unique=True)
+
+
+def membership_mask(keys: np.ndarray, lst: np.ndarray) -> np.ndarray:
+    """Boolean mask of which sorted ``keys`` appear in sorted ``lst``
+    (no device accounting; used by verification paths)."""
+    if len(keys) == 0:
+        return np.zeros(0, dtype=bool)
+    pos = np.searchsorted(lst, keys)
+    ok = pos < len(lst)
+    out = np.zeros(len(keys), dtype=bool)
+    out[ok] = lst[pos[ok]] == keys[ok]
+    return out

@@ -1,0 +1,63 @@
+"""Global-memory transaction accounting (coalescing model).
+
+CUDA serves a warp's loads in 128-byte transactions covering 32 aligned
+consecutive 4-byte words.  When the lanes of a warp touch words scattered
+across several aligned segments, each distinct segment costs one
+transaction — the effect Example 5 of the paper walks through.  The
+functions here turn "which word indices did this warp touch" into a
+transaction count, which is the quantity HTB is designed to shrink.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpu.device import DeviceSpec
+from repro.gpu.metrics import KernelMetrics
+
+__all__ = [
+    "transactions_for_gather",
+    "transactions_for_stream",
+    "charge_gather",
+    "charge_stream",
+]
+
+
+def transactions_for_gather(word_indices: np.ndarray,
+                            words_per_transaction: int) -> int:
+    """Transactions needed for one warp to gather the given word indices.
+
+    ``word_indices`` are 4-byte-word offsets into a global array; distinct
+    aligned segments of ``words_per_transaction`` words each cost one
+    transaction.
+    """
+    if len(word_indices) == 0:
+        return 0
+    segments = np.unique(np.asarray(word_indices, dtype=np.int64)
+                         // words_per_transaction)
+    return int(len(segments))
+
+
+def transactions_for_stream(num_words: int, words_per_transaction: int) -> int:
+    """Transactions for a fully coalesced sequential read of num_words."""
+    if num_words <= 0:
+        return 0
+    return -(-num_words // words_per_transaction)  # ceil div
+
+
+def charge_gather(metrics: KernelMetrics, spec: DeviceSpec,
+                  word_indices: np.ndarray) -> int:
+    """Account a warp gather: transactions + words consumed.  Returns txns."""
+    txns = transactions_for_gather(word_indices, spec.words_per_transaction)
+    metrics.global_transactions += txns
+    metrics.global_words += len(word_indices)
+    return txns
+
+
+def charge_stream(metrics: KernelMetrics, spec: DeviceSpec,
+                  num_words: int) -> int:
+    """Account a coalesced sequential read/write of ``num_words`` words."""
+    txns = transactions_for_stream(num_words, spec.words_per_transaction)
+    metrics.global_transactions += txns
+    metrics.global_words += max(num_words, 0)
+    return txns

@@ -1,0 +1,86 @@
+"""Kernel execution metrics collected by the SIMT simulator.
+
+A :class:`KernelMetrics` instance is threaded through every simulated
+device routine (intersections, candidate updates, work stealing) and
+accumulates the quantities the paper's optimisations target:
+
+* global-memory transactions (what HTB reduces, Example 5 vs Example 7),
+* comparisons / ALU ops (entry-by-entry binary search vs bitwise AND),
+* thread-slot utilisation (what hybrid DFS-BFS raises, Fig. 3),
+* shared-memory peak (the batching constraint, §IV),
+* atomics (the work-stealing lock traffic, Fig. 6).
+
+The cost model in :mod:`repro.gpu.costmodel` converts these counts into
+simulated cycles/seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["KernelMetrics"]
+
+
+@dataclass
+class KernelMetrics:
+    """Mutable accumulator of simulated device work."""
+
+    global_transactions: int = 0
+    global_words: int = 0          # 4-byte words actually consumed
+    shared_accesses: int = 0
+    shared_bytes_peak: int = 0
+    comparisons: int = 0
+    bitwise_ops: int = 0
+    alu_ops: int = 0
+    atomics: int = 0
+    intersection_calls: int = 0
+    thread_slots_total: int = 0
+    thread_slots_active: int = 0
+    divergent_branches: int = 0
+    results_written: int = 0
+
+    # ------------------------------------------------------------------
+    def merge(self, other: "KernelMetrics") -> "KernelMetrics":
+        """Accumulate ``other`` into self (peaks take the max) and return self."""
+        self.global_transactions += other.global_transactions
+        self.global_words += other.global_words
+        self.shared_accesses += other.shared_accesses
+        self.shared_bytes_peak = max(self.shared_bytes_peak,
+                                     other.shared_bytes_peak)
+        self.comparisons += other.comparisons
+        self.bitwise_ops += other.bitwise_ops
+        self.alu_ops += other.alu_ops
+        self.atomics += other.atomics
+        self.intersection_calls += other.intersection_calls
+        self.thread_slots_total += other.thread_slots_total
+        self.thread_slots_active += other.thread_slots_active
+        self.divergent_branches += other.divergent_branches
+        self.results_written += other.results_written
+        return self
+
+    def copy(self) -> "KernelMetrics":
+        """A detached copy of the current counters."""
+        out = KernelMetrics()
+        out.merge(self)
+        return out
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of scheduled thread slots that did useful work."""
+        if self.thread_slots_total == 0:
+            return 1.0
+        return self.thread_slots_active / self.thread_slots_total
+
+    def record_slots(self, active: int, total: int) -> None:
+        """Record a scheduling round that occupied ``total`` slots with
+        ``active`` useful lanes."""
+        self.thread_slots_active += active
+        self.thread_slots_total += total
+
+    def note_shared_peak(self, bytes_used: int) -> None:
+        """Track the largest shared-memory footprint seen."""
+        if bytes_used > self.shared_bytes_peak:
+            self.shared_bytes_peak = bytes_used
+
+    def __add__(self, other: "KernelMetrics") -> "KernelMetrics":
+        return self.copy().merge(other)

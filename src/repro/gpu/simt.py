@@ -1,0 +1,61 @@
+"""SIMT scheduling arithmetic: warps, rounds, and slot utilisation.
+
+The hybrid DFS-BFS analysis in §IV reasons entirely in terms of how many
+32-thread "slots" a piece of work occupies versus how many lanes do useful
+work.  :func:`slot_rounds` captures exactly the paper's formulas:
+
+* without batching, ``m`` keys on ``k`` warps take ``ceil(m / (32 k))``
+  rounds *per child*, so ``n`` children cost ``ceil(m / 32k) * n`` rounds;
+* with local BFS over n children, the concatenated work of ``m * n`` keys
+  takes ``ceil(m n / (32 k))`` rounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.device import DeviceSpec
+from repro.gpu.metrics import KernelMetrics
+
+__all__ = ["SlotRounds", "slot_rounds", "record_work", "warp_chunks"]
+
+
+@dataclass(frozen=True)
+class SlotRounds:
+    """Result of scheduling ``active`` lanes of work onto warp slots."""
+
+    rounds: int
+    total_slots: int
+    active_slots: int
+
+    @property
+    def utilization(self) -> float:
+        return self.active_slots / self.total_slots if self.total_slots else 1.0
+
+
+def slot_rounds(work_items: int, warps: int, warp_size: int = 32) -> SlotRounds:
+    """Schedule ``work_items`` independent lanes onto ``warps`` warps."""
+    if work_items <= 0:
+        return SlotRounds(rounds=0, total_slots=0, active_slots=0)
+    lanes = warps * warp_size
+    rounds = -(-work_items // lanes)
+    return SlotRounds(rounds=rounds,
+                      total_slots=rounds * lanes,
+                      active_slots=work_items)
+
+
+def record_work(metrics: KernelMetrics, spec: DeviceSpec,
+                work_items: int, warps: int) -> SlotRounds:
+    """Schedule work and record slot occupancy into ``metrics``."""
+    sr = slot_rounds(work_items, warps, spec.warp_size)
+    metrics.record_slots(sr.active_slots, sr.total_slots)
+    return sr
+
+
+def warp_chunks(n: int, warp_size: int = 32):
+    """Yield (start, stop) lane ranges, one warp-sized chunk at a time."""
+    start = 0
+    while start < n:
+        stop = min(start + warp_size, n)
+        yield start, stop
+        start = stop

@@ -1,0 +1,33 @@
+"""Bipartite graph substrate: structure, builders, IO, generators, 2-hop."""
+
+from repro.graph.bipartite import BipartiteGraph, LAYER_U, LAYER_V, other_layer
+from repro.graph.builders import (
+    complete_bipartite,
+    empty_graph,
+    from_adjacency,
+    from_edges,
+)
+from repro.graph.cores import CoreResult, alpha_beta_core, prune_for_query
+from repro.graph.generators import (
+    paper_synthetic,
+    planted_bicliques,
+    power_law_bipartite,
+    random_bipartite,
+    star_bipartite,
+)
+from repro.graph.io import dumps, loads, read_edge_list, write_edge_list
+from repro.graph.priority import priority_order, priority_rank, select_layer, wedge_mass
+from repro.graph.stats import GraphStats, compute_stats, format_table2_row
+from repro.graph.twohop import TwoHopIndex, build_two_hop_index, n2k, two_hop_multiset
+
+__all__ = [
+    "BipartiteGraph", "LAYER_U", "LAYER_V", "other_layer",
+    "from_edges", "from_adjacency", "empty_graph", "complete_bipartite",
+    "random_bipartite", "power_law_bipartite", "paper_synthetic",
+    "planted_bicliques", "star_bipartite",
+    "read_edge_list", "write_edge_list", "loads", "dumps",
+    "priority_order", "priority_rank", "select_layer", "wedge_mass",
+    "GraphStats", "compute_stats", "format_table2_row",
+    "TwoHopIndex", "build_two_hop_index", "n2k", "two_hop_multiset",
+    "CoreResult", "alpha_beta_core", "prune_for_query",
+]

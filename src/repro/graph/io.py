@@ -1,0 +1,97 @@
+"""Reading and writing bipartite graphs as edge-list text files.
+
+Two dialects are supported:
+
+* **plain** — one ``u v`` pair per line; layer sizes inferred (or given).
+* **konect** — the KONECT bipartite convention used by the paper's
+  datasets: a ``% bip`` header, optional ``% |E| |U| |V|`` size line,
+  1-based ids, ``%``-prefixed comment lines.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import TextIO
+
+from repro.errors import GraphFormatError
+from repro.graph.bipartite import BipartiteGraph, LAYER_U
+from repro.graph.builders import from_edges
+
+__all__ = ["read_edge_list", "write_edge_list", "loads", "dumps"]
+
+
+def _parse(stream: TextIO, name: str) -> BipartiteGraph:
+    edges: list[tuple[int, int]] = []
+    declared: tuple[int, int] | None = None
+    one_based = False
+    first_comment_seen = False
+    for line_no, raw in enumerate(stream, start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("%") or line.startswith("#"):
+            body = line.lstrip("%# ").lower()
+            if not first_comment_seen and "bip" in body:
+                one_based = True
+            elif declared is None:
+                parts = body.split()
+                if len(parts) >= 3 and all(p.isdigit() for p in parts[:3]):
+                    # KONECT size line: |E| |U| |V|
+                    declared = (int(parts[1]), int(parts[2]))
+            first_comment_seen = True
+            continue
+        parts = line.split()
+        if len(parts) < 2:
+            raise GraphFormatError(f"line {line_no}: expected 'u v', got {line!r}")
+        try:
+            u, v = int(parts[0]), int(parts[1])
+        except ValueError as exc:
+            raise GraphFormatError(f"line {line_no}: non-integer ids") from exc
+        if one_based:
+            u, v = u - 1, v - 1
+        if u < 0 or v < 0:
+            raise GraphFormatError(f"line {line_no}: negative vertex id")
+        edges.append((u, v))
+    if declared is not None:
+        num_u, num_v = declared
+    else:
+        num_u = 1 + max((u for u, _ in edges), default=-1)
+        num_v = 1 + max((v for _, v in edges), default=-1)
+    return from_edges(num_u, num_v, edges, name=name)
+
+
+def read_edge_list(path: str | Path) -> BipartiteGraph:
+    """Load a bipartite graph from an edge-list file (plain or KONECT)."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as fh:
+        return _parse(fh, name=path.stem)
+
+
+def loads(text: str, name: str = "from-string") -> BipartiteGraph:
+    """Parse an edge list from a string (same dialects as the file reader)."""
+    return _parse(io.StringIO(text), name=name)
+
+
+def write_edge_list(graph: BipartiteGraph, path: str | Path,
+                    konect: bool = False) -> None:
+    """Write ``graph`` as an edge list; KONECT dialect is 1-based with header."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as fh:
+        fh.write(dumps(graph, konect=konect))
+
+
+def dumps(graph: BipartiteGraph, konect: bool = False) -> str:
+    """Serialise ``graph`` as edge-list text."""
+    out: list[str] = []
+    if konect:
+        out.append("% bip")
+        out.append(f"% {graph.num_edges} {graph.num_u} {graph.num_v}")
+        base = 1
+    else:
+        out.append(f"# {graph.num_edges} {graph.num_u} {graph.num_v}")
+        base = 0
+    for u in range(graph.num_u):
+        for v in graph.neighbors(LAYER_U, u):
+            out.append(f"{u + base} {int(v) + base}")
+    return "\n".join(out) + "\n"

@@ -1,0 +1,100 @@
+"""2-hop neighbourhood computation (N2 and N2^k of the paper, §II).
+
+For a vertex ``u`` on the anchored layer, ``N2(u)`` is the set of same-layer
+vertices reachable through one intermediate vertex, and ``N2^k(u)`` keeps
+only those sharing at least ``k`` common 1-hop neighbours with ``u``
+(``k = q`` when anchoring on U).  Biclique counting repeatedly intersects
+candidate sets with these lists, so we expose both a per-vertex routine and
+a CSR-like precomputed index used by the counting kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.bipartite import BipartiteGraph
+
+__all__ = ["two_hop_multiset", "n2k", "TwoHopIndex", "build_two_hop_index"]
+
+
+def two_hop_multiset(graph: BipartiteGraph, layer: str, vertex: int):
+    """Return (vertices, counts): each 2-hop neighbour of ``vertex`` and the
+    number of shared 1-hop neighbours.  ``vertex`` itself is excluded."""
+    from repro.graph.bipartite import other_layer
+    opp = other_layer(layer)
+    counts: dict[int, int] = {}
+    for mid in graph.neighbors(layer, vertex):
+        for w in graph.neighbors(opp, int(mid)):
+            w = int(w)
+            if w != vertex:
+                counts[w] = counts.get(w, 0) + 1
+    if not counts:
+        return (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+    verts = np.fromiter(counts.keys(), dtype=np.int64, count=len(counts))
+    vals = np.fromiter(counts.values(), dtype=np.int64, count=len(counts))
+    order = np.argsort(verts)
+    return verts[order], vals[order]
+
+
+def n2k(graph: BipartiteGraph, layer: str, vertex: int, k: int) -> np.ndarray:
+    """Sorted array of 2-hop neighbours sharing >= k common neighbours."""
+    verts, counts = two_hop_multiset(graph, layer, vertex)
+    return verts[counts >= k]
+
+
+@dataclass(frozen=True)
+class TwoHopIndex:
+    """Precomputed N2^k lists for one layer in CSR form.
+
+    ``neighbors[offsets[u]:offsets[u+1]]`` is the sorted N2^k(u) list. This
+    mirrors what GBC materialises on the host before kernel launch
+    (Algorithm 1, line 2).
+    """
+
+    layer: str
+    k: int
+    offsets: np.ndarray
+    neighbors: np.ndarray
+
+    def of(self, vertex: int) -> np.ndarray:
+        """Sorted N2^k list of ``vertex`` (a view into the index)."""
+        return self.neighbors[self.offsets[vertex]:self.offsets[vertex + 1]]
+
+    def size(self, vertex: int) -> int:
+        """|N2^k(vertex)|."""
+        return int(self.offsets[vertex + 1] - self.offsets[vertex])
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.offsets) - 1
+
+    def total_entries(self) -> int:
+        """Total stored 2-hop entries (memory proxy for BCPar weights)."""
+        return int(len(self.neighbors))
+
+
+def build_two_hop_index(graph: BipartiteGraph, layer: str, k: int,
+                        min_priority_rank: np.ndarray | None = None) -> TwoHopIndex:
+    """Materialise N2^k for every vertex of ``layer``.
+
+    When ``min_priority_rank`` is given (rank[vertex] = position in the
+    priority order, 0 = highest priority), only 2-hop neighbours with a
+    *lower* priority (larger rank) are stored.  This is the paper's trick
+    for avoiding duplicate bicliques and halving index memory (§III-B:
+    "neighbors with lower priority are not stored").
+    """
+    n = graph.layer_size(layer)
+    rows: list[np.ndarray] = []
+    for u in range(n):
+        lst = n2k(graph, layer, u, k)
+        if min_priority_rank is not None and len(lst):
+            lst = lst[min_priority_rank[lst] > min_priority_rank[u]]
+        rows.append(lst)
+    offsets = np.zeros(n + 1, dtype=np.int64)
+    for u, row in enumerate(rows):
+        offsets[u + 1] = offsets[u] + len(row)
+    neighbors = (np.concatenate(rows) if offsets[-1] else
+                 np.empty(0, dtype=np.int64))
+    return TwoHopIndex(layer=layer, k=k, offsets=offsets, neighbors=neighbors)

@@ -1,0 +1,25 @@
+"""Hierarchical Truncated Bitmap (HTB) data structure (§V-A)."""
+
+from repro.htb.bitmap import (
+    WORD_BITS,
+    and_aligned,
+    cardinality,
+    decode,
+    encode,
+    popcount,
+)
+from repro.htb.htb import (
+    HTB,
+    BitmapSet,
+    build_htb_from_rows,
+    htb_from_graph,
+    htb_from_two_hop,
+    intersect_device,
+    intersect_exact,
+)
+
+__all__ = [
+    "WORD_BITS", "encode", "decode", "popcount", "cardinality", "and_aligned",
+    "HTB", "BitmapSet", "build_htb_from_rows", "htb_from_graph",
+    "htb_from_two_hop", "intersect_device", "intersect_exact",
+]

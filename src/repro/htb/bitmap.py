@@ -1,0 +1,86 @@
+"""Truncated-bitmap codec: sorted vertex lists <-> (Idx, Val) word pairs.
+
+A truncated bitmap represents a set of vertex ids as sparse 32-bit words:
+vertex ``x`` maps to bit ``x % 32`` of the word with index ``x // 32``
+(Example 6 of the paper).  Only non-zero words are stored: ``idx`` holds
+the word indices (sorted, unique) and ``val`` the corresponding 32-bit
+masks.  Intersecting two sets then becomes aligning ``idx`` arrays and
+AND-ing ``val`` words.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "WORD_BITS",
+    "encode",
+    "decode",
+    "popcount",
+    "cardinality",
+    "and_aligned",
+]
+
+WORD_BITS = 32
+
+
+def encode(vertices: np.ndarray, word_bits: int = WORD_BITS):
+    """Encode a sorted array of vertex ids into (idx, val) truncated bitmaps.
+
+    Returns ``idx`` as int64 word indices and ``val`` as uint64 masks (only
+    the low ``word_bits`` bits are ever set; uint64 keeps numpy bit-ops
+    safe and cheap).
+    """
+    vertices = np.asarray(vertices, dtype=np.int64)
+    if len(vertices) == 0:
+        return (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.uint64))
+    words = vertices // word_bits
+    bits = (vertices % word_bits).astype(np.uint64)
+    idx = np.unique(words)
+    val = np.zeros(len(idx), dtype=np.uint64)
+    group = np.searchsorted(idx, words)
+    np.bitwise_or.at(val, group, np.uint64(1) << bits)
+    return idx, val
+
+
+def decode(idx: np.ndarray, val: np.ndarray,
+           word_bits: int = WORD_BITS) -> np.ndarray:
+    """Decode (idx, val) truncated bitmaps back into sorted vertex ids."""
+    if len(idx) == 0:
+        return np.empty(0, dtype=np.int64)
+    out: list[np.ndarray] = []
+    bit_values = np.arange(word_bits, dtype=np.uint64)
+    for word, mask in zip(idx, val):
+        bits = bit_values[(np.uint64(mask) >> bit_values) & np.uint64(1) == 1]
+        out.append(word * word_bits + bits.astype(np.int64))
+    return np.concatenate(out)
+
+
+def popcount(val: np.ndarray) -> np.ndarray:
+    """Per-word population count of a uint64 mask array."""
+    return np.bitwise_count(np.asarray(val, dtype=np.uint64))
+
+
+def cardinality(val: np.ndarray) -> int:
+    """Total number of set bits across the mask array."""
+    if len(val) == 0:
+        return 0
+    return int(popcount(val).sum())
+
+
+def and_aligned(a_idx: np.ndarray, a_val: np.ndarray,
+                b_idx: np.ndarray, b_val: np.ndarray):
+    """Intersect two truncated bitmaps exactly (no device accounting).
+
+    Word indices are aligned with searchsorted, masks AND-ed, and empty
+    words dropped — the ground-truth counterpart of the simulated device
+    routine in :mod:`repro.htb.htb`.
+    """
+    if len(a_idx) == 0 or len(b_idx) == 0:
+        return (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.uint64))
+    pos = np.searchsorted(b_idx, a_idx)
+    ok = pos < len(b_idx)
+    ok[ok] &= b_idx[pos[ok]] == a_idx[ok]
+    masks = a_val[ok] & b_val[pos[ok]]
+    keep = masks != 0
+    return a_idx[ok][keep], masks[keep]

@@ -1,0 +1,23 @@
+"""Graph partitioning for the out-of-memory setting (§VI): BCPar and the
+METIS-like baseline, plus the partitioned-count runner."""
+
+from repro.partition.bcpar import Partition, PartitionSet, bcpar_partition
+from repro.partition.metislike import (
+    MetisLikeResult,
+    edge_cut,
+    metis_like_partition,
+)
+from repro.partition.runner import (
+    PartitionRunReport,
+    recommended_budget_words,
+    run_bcpar,
+    run_metis_like,
+    run_partitioned_count,
+)
+
+__all__ = [
+    "Partition", "PartitionSet", "bcpar_partition",
+    "MetisLikeResult", "metis_like_partition", "edge_cut",
+    "PartitionRunReport", "run_partitioned_count", "run_bcpar",
+    "run_metis_like", "recommended_budget_words",
+]

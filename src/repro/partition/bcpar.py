@@ -1,0 +1,173 @@
+"""BCPar — biclique-aware, communication-free graph partitioning (Alg. 3).
+
+The key structural fact (§VI): starting a search from root ``u``, every
+vertex ever touched lies in ``{u} ∪ N2^q(u)`` (same layer) plus the 1-hop
+neighbourhoods of those vertices.  So a partition that stores the full
+closure of its roots can count all their bicliques without any further
+transfer — partitions are *autonomous*.
+
+BCPar assigns every root to exactly one partition greedily:
+
+1. weight ``w(u) = |N(u)| + |N2^q(u)|`` (device words the vertex's data
+   occupies) and average weight ``avgw(u)`` over its 2-hop neighbourhood;
+2. a new partition is seeded with the unassigned vertex of maximal
+   ``avgw`` (best chance its neighbourhood is shareable);
+3. candidates are ranked in a max-heap by accumulated *gain* — the sum of
+   weights of closure vertices they share with the partition (inserting
+   them adds only their non-shared remainder);
+4. vertices are added until the memory budget ``M`` would be exceeded.
+
+Closure vertices may be replicated across partitions (that is the price
+of communication-freedom); roots are never replicated.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import PartitionError
+from repro.graph.bipartite import BipartiteGraph, LAYER_U
+from repro.graph.twohop import TwoHopIndex
+
+__all__ = ["Partition", "PartitionSet", "bcpar_partition"]
+
+
+@dataclass
+class Partition:
+    """One autonomous partition: its roots and resident closure."""
+
+    roots: list[int] = field(default_factory=list)
+    closure: set[int] = field(default_factory=set)   # same-layer residency
+    cost_words: int = 0                              # Σ w(u') over closure
+
+    def __post_init__(self) -> None:
+        self.closure = set(self.closure)
+
+
+@dataclass
+class PartitionSet:
+    """The full partitioning result plus provenance for validation."""
+
+    partitions: list[Partition]
+    budget_words: int
+    build_seconds: float
+    weights: np.ndarray
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self.partitions)
+
+    def replication_factor(self) -> float:
+        """Mean number of partitions each closure vertex appears in."""
+        resident: dict[int, int] = {}
+        for part in self.partitions:
+            for v in part.closure:
+                resident[v] = resident.get(v, 0) + 1
+        if not resident:
+            return 1.0
+        return sum(resident.values()) / len(resident)
+
+    def validate(self, index: TwoHopIndex) -> None:
+        """Check the communication-free invariant and root coverage."""
+        seen_roots: set[int] = set()
+        for pid, part in enumerate(self.partitions):
+            for root in part.roots:
+                if root in seen_roots:
+                    raise PartitionError(f"root {root} assigned twice")
+                seen_roots.add(root)
+                if root not in part.closure:
+                    raise PartitionError(
+                        f"partition {pid}: root {root} missing from closure")
+                for nb in index.of(root):
+                    if int(nb) not in part.closure:
+                        raise PartitionError(
+                            f"partition {pid}: 2-hop neighbour {int(nb)} of "
+                            f"root {root} not resident (not autonomous)")
+        expected = set(range(index.num_vertices))
+        if seen_roots != expected:
+            missing = sorted(expected - seen_roots)[:5]
+            raise PartitionError(f"roots not fully covered; missing {missing}")
+
+
+def _vertex_weights(graph: BipartiteGraph, index: TwoHopIndex) -> np.ndarray:
+    """w(u) = |N(u)| + |N2^q(u)| for every selected-layer vertex."""
+    degrees = graph.degrees(LAYER_U).astype(np.int64)
+    two_hop = np.diff(index.offsets)
+    return degrees + two_hop
+
+
+def bcpar_partition(graph: BipartiteGraph, index: TwoHopIndex,
+                    budget_words: int) -> PartitionSet:
+    """Partition the selected layer of ``graph`` under ``budget_words``.
+
+    ``index`` must be the *unfiltered* N2^q index over the same layer —
+    autonomy must hold for the full neighbourhood, not the rank-filtered
+    half used during enumeration (a superset, so safe either way).
+    """
+    t0 = time.perf_counter()
+    n = graph.layer_size(LAYER_U)
+    weights = _vertex_weights(graph, index)
+    avgw = np.zeros(n, dtype=np.float64)
+    for u in range(n):
+        nbrs = index.of(u)
+        avgw[u] = float(weights[nbrs].mean()) if len(nbrs) else 0.0
+
+    unassigned = set(range(n))
+    # seed order: descending average weight, ids break ties
+    seed_order = list(np.lexsort((np.arange(n), -avgw)))
+    seed_ptr = 0
+    partitions: list[Partition] = []
+
+    while unassigned:
+        while seed_ptr < n and seed_order[seed_ptr] not in unassigned:
+            seed_ptr += 1
+        seed = int(seed_order[seed_ptr]) if seed_ptr < n else next(iter(unassigned))
+        part = Partition()
+        gain: dict[int, int] = {}
+        heap: list[tuple[int, int]] = []   # (-gain, vertex), lazily stale
+
+        def add_root(u: int) -> None:
+            """Insert u as a root; extend the closure and refresh gains."""
+            part.roots.append(u)
+            unassigned.discard(u)
+            new_members = [u] + [int(x) for x in index.of(u)]
+            for m in new_members:
+                if m in part.closure:
+                    continue
+                part.closure.add(m)
+                part.cost_words += int(weights[m])
+                # every unassigned in-neighbour of m now shares m's data
+                for v in index.of(m):
+                    v = int(v)
+                    if v in unassigned:
+                        gain[v] = gain.get(v, 0) + int(weights[m])
+                        heapq.heappush(heap, (-gain[v], v))
+
+        add_root(seed)
+        while True:
+            candidate = None
+            while heap:
+                neg, v = heapq.heappop(heap)
+                if v in unassigned and gain.get(v, 0) == -neg:
+                    candidate = v
+                    break
+            if candidate is None:
+                break
+            added_cost = int(weights[candidate]) if candidate not in part.closure else 0
+            for m in index.of(candidate):
+                if int(m) not in part.closure:
+                    added_cost += int(weights[int(m)])
+            if part.cost_words + added_cost > budget_words:
+                break
+            add_root(candidate)
+        partitions.append(part)
+
+    result = PartitionSet(partitions=partitions,
+                          budget_words=budget_words,
+                          build_seconds=time.perf_counter() - t0,
+                          weights=weights)
+    return result

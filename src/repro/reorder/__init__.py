@@ -1,0 +1,27 @@
+"""Vertex reordering: degree preorder, Border (§V-B), Gorder comparator."""
+
+from repro.reorder.base import (
+    Reordering,
+    apply_reordering,
+    compose_permutations,
+    identity_permutation,
+    validate_permutation,
+)
+from repro.reorder.blocks import (
+    BlockCensus,
+    block_census,
+    build_block_counts,
+    htb_word_total,
+)
+from repro.reorder.border import BorderStats, border_permutation, border_reordering
+from repro.reorder.degree import degree_permutation, degree_reordering
+from repro.reorder.gorder import gorder_permutation, gorder_reordering
+
+__all__ = [
+    "Reordering", "identity_permutation", "validate_permutation",
+    "apply_reordering", "compose_permutations",
+    "BlockCensus", "block_census", "build_block_counts", "htb_word_total",
+    "BorderStats", "border_permutation", "border_reordering",
+    "degree_permutation", "degree_reordering",
+    "gorder_permutation", "gorder_reordering",
+]

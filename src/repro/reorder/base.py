@@ -1,0 +1,63 @@
+"""Reordering plumbing: permutation validation and application.
+
+A reordering produces, per layer, a permutation array ``perm`` with
+``perm[old_id] = new_id``.  Applying it yields an isomorphic graph whose
+adjacency lists are re-sorted under the new ids — the layout HTB is then
+built from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Protocol
+
+import numpy as np
+
+from repro.errors import ReorderError
+from repro.graph.bipartite import BipartiteGraph, LAYER_U, LAYER_V
+
+__all__ = ["Reordering", "identity_permutation", "validate_permutation",
+           "apply_reordering", "compose_permutations"]
+
+
+@dataclass(frozen=True)
+class Reordering:
+    """Per-layer permutations plus the method that produced them."""
+
+    method: str
+    perm_u: np.ndarray
+    perm_v: np.ndarray
+
+    def apply(self, graph: BipartiteGraph) -> BipartiteGraph:
+        return apply_reordering(graph, self)
+
+
+def identity_permutation(n: int) -> np.ndarray:
+    """The do-nothing permutation of size n."""
+    return np.arange(n, dtype=np.int64)
+
+
+def validate_permutation(perm: np.ndarray, n: int) -> None:
+    """Raise :class:`ReorderError` unless perm is a bijection on [0, n)."""
+    perm = np.asarray(perm)
+    if len(perm) != n or not np.array_equal(np.sort(perm), np.arange(n)):
+        raise ReorderError(f"not a permutation of {n} elements")
+
+
+def apply_reordering(graph: BipartiteGraph, reordering: Reordering) -> BipartiteGraph:
+    """Materialise the reordered (isomorphic) graph."""
+    validate_permutation(reordering.perm_u, graph.num_u)
+    validate_permutation(reordering.perm_v, graph.num_v)
+    out = graph.relabeled(reordering.perm_u, reordering.perm_v)
+    return BipartiteGraph(out.num_u, out.num_v, out.u_offsets,
+                          out.u_neighbors, out.v_offsets, out.v_neighbors,
+                          name=f"{graph.name}/{reordering.method}")
+
+
+def compose_permutations(first: np.ndarray, second: np.ndarray) -> np.ndarray:
+    """Permutation equal to applying ``first`` then ``second``."""
+    first = np.asarray(first, dtype=np.int64)
+    second = np.asarray(second, dtype=np.int64)
+    if len(first) != len(second):
+        raise ReorderError("permutation sizes differ")
+    return second[first]

@@ -1,0 +1,83 @@
+"""Block-census utilities shared by Border and the reorder benchmarks.
+
+A *block* is a run of 32 consecutive column positions within one row of
+the layer-adjacency matrix (§V-B); an *m-block* contains exactly m ones.
+1-blocks are the sparsity pathology HTB suffers from — each stores a whole
+32-bit word for a single neighbour — so both Border's objective and the
+reorder-quality metrics are phrased in block counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.bipartite import BipartiteGraph, other_layer
+from repro.htb.bitmap import WORD_BITS
+
+__all__ = ["BlockCensus", "block_census", "build_block_counts", "htb_word_total"]
+
+
+@dataclass(frozen=True)
+class BlockCensus:
+    """Distribution of m-block sizes over all rows of a layer matrix."""
+
+    histogram: dict[int, int]  # m -> number of m-blocks (m >= 1)
+
+    @property
+    def one_blocks(self) -> int:
+        return self.histogram.get(1, 0)
+
+    @property
+    def nonzero_blocks(self) -> int:
+        return sum(self.histogram.values())
+
+    @property
+    def mean_fill(self) -> float:
+        """Average ones per non-zero block (HTB density)."""
+        total = sum(m * c for m, c in self.histogram.items())
+        blocks = self.nonzero_blocks
+        return total / blocks if blocks else 0.0
+
+
+def build_block_counts(graph: BipartiteGraph, reorder_layer: str,
+                       positions: np.ndarray | None = None,
+                       word_bits: int = WORD_BITS) -> np.ndarray:
+    """Dense (rows x num_blocks) matrix of ones-per-block counts.
+
+    Rows are the vertices of the *opposite* layer (each row is one
+    adjacency list); columns of the conceptual bit matrix are the
+    reorder-layer vertices at their current ``positions``.
+    """
+    rows_layer = other_layer(reorder_layer)
+    n_cols = graph.layer_size(reorder_layer)
+    n_rows = graph.layer_size(rows_layer)
+    if positions is None:
+        positions = np.arange(n_cols, dtype=np.int64)
+    num_blocks = -(-n_cols // word_bits) if n_cols else 0
+    counts = np.zeros((n_rows, max(num_blocks, 1)), dtype=np.int32)
+    for r in range(n_rows):
+        nbrs = graph.neighbors(rows_layer, r)
+        if len(nbrs):
+            np.add.at(counts[r], positions[nbrs] // word_bits, 1)
+    return counts
+
+
+def block_census(graph: BipartiteGraph, reorder_layer: str,
+                 positions: np.ndarray | None = None,
+                 word_bits: int = WORD_BITS) -> BlockCensus:
+    """Histogram of m-block counts for the layer matrix."""
+    counts = build_block_counts(graph, reorder_layer, positions, word_bits)
+    nz = counts[counts > 0]
+    values, freq = np.unique(nz, return_counts=True)
+    return BlockCensus(histogram={int(m): int(c)
+                                  for m, c in zip(values, freq)})
+
+
+def htb_word_total(graph: BipartiteGraph, reorder_layer: str,
+                   positions: np.ndarray | None = None,
+                   word_bits: int = WORD_BITS) -> int:
+    """Total HTB words needed for all rows under the given column layout
+    (= number of non-zero blocks); the direct memory cost Border shrinks."""
+    return block_census(graph, reorder_layer, positions, word_bits).nonzero_blocks

@@ -1,0 +1,75 @@
+"""Gorder-style sliding-window reordering (the Table III comparator).
+
+Wei et al.'s Gorder [50] greedily appends, at each step, the vertex with
+the highest locality score against a sliding window of the last ``w``
+placed vertices; the score counts shared neighbours (and direct links in
+unipartite graphs).  We implement the natural bipartite transcription: the
+score of candidate ``v`` is the number of common 1-hop neighbours with the
+window vertices, accumulated via sparse adjacency walks.
+
+Gorder optimises CPU cache hit rate, not HTB block fill — the paper's
+point in §VII-D is that it helps (2.4x) but less than Border (3.1x).  We
+keep it faithful enough to exhibit exactly that gap.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.graph.bipartite import BipartiteGraph, LAYER_U, LAYER_V, other_layer
+from repro.reorder.base import Reordering, identity_permutation
+
+__all__ = ["gorder_permutation", "gorder_reordering"]
+
+
+def gorder_permutation(graph: BipartiteGraph, layer: str,
+                       window: int = 5) -> np.ndarray:
+    """Gorder-like permutation of one layer: perm[old_id] = new_id."""
+    n = graph.layer_size(layer)
+    if n == 0:
+        return identity_permutation(0)
+    rows_layer = other_layer(layer)
+    degrees = graph.degrees(layer)
+    placed = np.zeros(n, dtype=bool)
+    # score[v] = number of shared-neighbour hits with the current window
+    score = np.zeros(n, dtype=np.int64)
+    recent: deque[int] = deque()
+    order: list[int] = []
+
+    def bump(vertex: int, delta: int) -> None:
+        for mid in graph.neighbors(layer, vertex):
+            nbrs = graph.neighbors(rows_layer, int(mid))
+            score[nbrs] += delta
+
+    start = int(degrees.argmax())
+    current = start
+    for _ in range(n):
+        placed[current] = True
+        order.append(current)
+        recent.append(current)
+        bump(current, +1)
+        if len(recent) > window:
+            bump(recent.popleft(), -1)
+        masked = np.where(placed, np.iinfo(np.int64).min, score)
+        nxt = int(masked.argmax())
+        if placed[nxt]:
+            remaining = np.flatnonzero(~placed)
+            if len(remaining) == 0:
+                break
+            nxt = int(remaining[0])
+        current = nxt
+    perm = np.empty(n, dtype=np.int64)
+    perm[np.asarray(order, dtype=np.int64)] = np.arange(n, dtype=np.int64)
+    return perm
+
+
+def gorder_reordering(graph: BipartiteGraph, window: int = 5,
+                      layers: tuple[str, ...] = (LAYER_U, LAYER_V)) -> Reordering:
+    """Gorder-like reordering applied per layer."""
+    perm_u = gorder_permutation(graph, LAYER_U, window) if LAYER_U in layers \
+        else identity_permutation(graph.num_u)
+    perm_v = gorder_permutation(graph, LAYER_V, window) if LAYER_V in layers \
+        else identity_permutation(graph.num_v)
+    return Reordering(method="gorder", perm_u=perm_u, perm_v=perm_v)

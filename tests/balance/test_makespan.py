@@ -1,0 +1,38 @@
+"""Tests for makespan diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.balance.makespan import imbalance_factor, lpt_upper_bound, perfect_makespan
+from repro.balance.preruntime import split_loads, weighted_greedy_split
+
+
+class TestPerfectMakespan:
+    def test_even_split(self):
+        assert perfect_makespan(np.array([1.0, 1.0, 1.0, 1.0]), 2) == 2.0
+
+    def test_dominated_by_largest(self):
+        assert perfect_makespan(np.array([10.0, 1.0]), 4) == 10.0
+
+    def test_empty(self):
+        assert perfect_makespan(np.array([]), 3) == 0.0
+
+
+class TestImbalance:
+    def test_even(self):
+        assert imbalance_factor(np.array([5.0, 5.0])) == 1.0
+
+    def test_skewed(self):
+        assert imbalance_factor(np.array([9.0, 1.0])) == pytest.approx(1.8)
+
+    def test_empty(self):
+        assert imbalance_factor(np.array([])) == 1.0
+
+
+class TestLPTBound:
+    def test_greedy_within_bound(self):
+        rng = np.random.default_rng(2)
+        for blocks in (2, 4, 8):
+            w = rng.pareto(1.5, 64) + 0.5
+            loads = split_loads(weighted_greedy_split(w, blocks), w)
+            assert loads.max() <= lpt_upper_bound(w, blocks) + 1e-9

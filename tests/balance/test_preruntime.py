@@ -1,0 +1,64 @@
+"""Tests for static placement policies."""
+
+import numpy as np
+
+from repro.balance.preruntime import (
+    contiguous_split,
+    interleaved_split,
+    split_loads,
+    weighted_greedy_split,
+)
+
+
+def _covers_all(blocks, n):
+    got = sorted(i for blk in blocks for i in blk)
+    assert got == list(range(n))
+
+
+class TestContiguous:
+    def test_partition_of_tasks(self):
+        blocks = contiguous_split(10, 3)
+        _covers_all(blocks, 10)
+        assert blocks[0] == [0, 1, 2]
+
+    def test_more_blocks_than_tasks(self):
+        blocks = contiguous_split(2, 5)
+        _covers_all(blocks, 2)
+        assert sum(1 for b in blocks if b) == 2
+
+    def test_empty(self):
+        assert contiguous_split(0, 4) == [[], [], [], []]
+
+
+class TestInterleaved:
+    def test_striding(self):
+        blocks = interleaved_split(7, 3)
+        assert blocks[0] == [0, 3, 6]
+        assert blocks[1] == [1, 4]
+        _covers_all(blocks, 7)
+
+
+class TestWeightedGreedy:
+    def test_partition_of_tasks(self):
+        w = np.array([5.0, 1.0, 1.0, 1.0, 1.0, 1.0])
+        blocks = weighted_greedy_split(w, 2)
+        _covers_all(blocks, 6)
+
+    def test_balances_skewed_weights(self):
+        w = np.array([100.0, 1.0, 1.0, 1.0, 1.0, 1.0])
+        blocks = weighted_greedy_split(w, 2)
+        loads = split_loads(blocks, w)
+        # heavy task alone; the small ones on the other block
+        assert loads.max() == 100.0
+        assert loads.min() == 5.0
+
+    def test_beats_contiguous_on_sorted_weights(self):
+        rng = np.random.default_rng(0)
+        w = np.sort(rng.pareto(1.3, 100) + 0.1)[::-1]
+        greedy = split_loads(weighted_greedy_split(w, 8), w).max()
+        naive = split_loads(contiguous_split(100, 8), w).max()
+        assert greedy < naive
+
+    def test_deterministic(self):
+        w = np.array([3.0, 3.0, 2.0, 2.0])
+        assert weighted_greedy_split(w, 2) == weighted_greedy_split(w, 2)

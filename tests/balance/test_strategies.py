@@ -1,0 +1,60 @@
+"""Tests for the four Table IV strategies."""
+
+import numpy as np
+import pytest
+
+from repro.balance.strategies import STRATEGIES, evaluate_strategy, get_strategy
+from repro.gpu.device import small_test_device
+
+
+class TestRegistry:
+    def test_all_four_present(self):
+        assert set(STRATEGIES) == {"none", "pre", "runtime", "joint"}
+
+    def test_stealing_flags(self):
+        assert not get_strategy("none").stealing
+        assert not get_strategy("pre").stealing
+        assert get_strategy("runtime").stealing
+        assert get_strategy("joint").stealing
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            get_strategy("magic")
+
+
+class TestEvaluate:
+    def _workload(self, n=120, seed=0):
+        rng = np.random.default_rng(seed)
+        costs = rng.pareto(1.2, n) * 1e4 + 100
+        # weights are noisy estimates of the true costs
+        weights = costs * rng.uniform(0.6, 1.4, n)
+        return costs, weights
+
+    def test_every_strategy_improves_on_none(self):
+        """Table IV row ordering: all three beat 'No Balance' on a skewed
+        workload."""
+        costs, weights = self._workload()
+        spec = small_test_device(blocks=8)
+        makespans = {s: evaluate_strategy(s, costs, weights, 8, spec)
+                     .makespan_cycles for s in STRATEGIES}
+        assert makespans["pre"] < makespans["none"]
+        assert makespans["runtime"] < makespans["none"]
+        assert makespans["joint"] < makespans["none"]
+
+    def test_joint_at_least_as_good_as_pre_with_bad_estimates(self):
+        """When weights mispredict costs, stealing on top of the static
+        split must not hurt much and typically helps."""
+        rng = np.random.default_rng(5)
+        costs = rng.pareto(1.05, 200) * 1e5 + 10
+        weights = np.ones_like(costs)  # useless estimates
+        spec = small_test_device(blocks=8)
+        pre = evaluate_strategy("pre", costs, weights, 8, spec)
+        joint = evaluate_strategy("joint", costs, weights, 8, spec)
+        assert joint.makespan_cycles <= pre.makespan_cycles
+
+    def test_imbalance_diagnostic(self):
+        costs, weights = self._workload(seed=3)
+        spec = small_test_device(blocks=4)
+        none = evaluate_strategy("none", costs, weights, 4, spec)
+        joint = evaluate_strategy("joint", costs, weights, 4, spec)
+        assert joint.imbalance <= none.imbalance

@@ -1,0 +1,54 @@
+"""Tests for the dataset stand-in registry."""
+
+import pytest
+
+from repro.bench.datasets import PAPER_STATS, REGISTRY, list_datasets, load_dataset
+from repro.graph.stats import compute_stats
+
+
+class TestRegistry:
+    def test_covers_table2(self):
+        assert set(list_datasets()) == set(PAPER_STATS)
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            load_dataset("NOPE")
+
+    def test_unknown_scale(self):
+        with pytest.raises(KeyError):
+            load_dataset("YT", scale="galactic")
+
+    @pytest.mark.parametrize("key", sorted(REGISTRY))
+    def test_tiny_valid_and_deterministic(self, key):
+        a = load_dataset(key, "tiny")
+        b = load_dataset(key, "tiny")
+        a.validate()
+        assert a.num_edges == b.num_edges
+        assert a.name == f"{key}-tiny"
+
+    def test_scales_grow(self):
+        for key in ("YT", "S1"):
+            tiny = load_dataset(key, "tiny")
+            bench = load_dataset(key, "bench")
+            assert bench.num_edges > tiny.num_edges
+
+
+class TestShapeFidelity:
+    def test_layer_ratio_direction(self):
+        """Stand-ins keep the paper's |U| vs |V| orientation."""
+        for key, (pu, pv, *_rest) in PAPER_STATS.items():
+            g = load_dataset(key, "tiny")
+            assert (g.num_u >= g.num_v) == (pu >= pv), key
+
+    def test_degree_contrast_direction(self):
+        """Mean-degree ordering between layers matches the paper."""
+        for key in ("YT", "BC", "SO", "FR"):
+            pdu, pdv = PAPER_STATS[key][3], PAPER_STATS[key][4]
+            s = compute_stats(load_dataset(key, "bench"))
+            assert (s.mean_degree_u > s.mean_degree_v) == (pdu > pdv), key
+
+    def test_fr_extreme_skew(self):
+        """FR's defining feature: far denser U side than any other set."""
+        fr = compute_stats(load_dataset("FR", "bench"))
+        yt = compute_stats(load_dataset("YT", "bench"))
+        assert fr.mean_degree_u > 5 * yt.mean_degree_u

@@ -1,0 +1,115 @@
+"""Tiny-scale runs of every paper experiment: structure and shape checks.
+
+These are the same experiment functions the benchmark harness runs at
+``bench`` scale; here they run at ``tiny`` scale so the whole paper matrix
+is exercised (with its shape assertions) inside the unit-test suite.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.experiments import (
+    experiment_fig1b,
+    experiment_fig7,
+    experiment_fig8,
+    experiment_fig9,
+    experiment_fig10,
+    experiment_fig11,
+    experiment_table2,
+    experiment_table3,
+    experiment_table4,
+    experiment_table5,
+)
+from repro.core.counts import BicliqueQuery
+
+TINY_Q = BicliqueQuery(3, 3)
+
+
+class TestFig1b:
+    def test_intersections_dominate(self):
+        res = experiment_fig1b(datasets=("YT", "GH"), scale="tiny",
+                               query=TINY_Q)
+        for name, share in res.data["intersection_share"].items():
+            assert share > 0.5, name
+        assert "Comp.S" in res.text
+
+
+class TestTable2:
+    def test_all_rows(self):
+        res = experiment_table2(scale="tiny")
+        assert len(res.data["stats"]) == 11
+        assert "YT" in res.text
+
+
+class TestFig7:
+    def test_gbc_wins(self):
+        res = experiment_fig7(datasets=("YT", "S1"),
+                              queries=[BicliqueQuery(2, 3),
+                                       BicliqueQuery(3, 2)],
+                              scale="tiny")
+        for method, ratios in res.data["speedups"].items():
+            assert len(ratios) == 4
+            assert np.mean(ratios) > 1.0, method
+
+
+class TestFig8:
+    def test_series_complete(self):
+        res = experiment_fig8(datasets=("YT",), totals=[4, 6],
+                              scale="tiny")
+        series = res.data["series"]["YT"]
+        assert all(len(v) == 2 for v in series.values())
+
+
+class TestFig9:
+    def test_ablations_cost(self):
+        res = experiment_fig9(datasets=("YT", "S1"),
+                              queries=[BicliqueQuery(3, 3)],
+                              scale="tiny")
+        for variant, per_ds in res.data["ratios"].items():
+            for ds, ratios in per_ds.items():
+                assert all(r > 0.8 for r in ratios), (variant, ds)
+
+
+class TestTable3:
+    def test_border_never_worse_than_none(self):
+        res = experiment_table3(datasets=("YT", "S1"), query=TINY_Q,
+                                scale="tiny", border_iterations=16)
+        for ds, cells in res.data.items():
+            assert cells["border"] <= cells["none"] * 1.2, ds
+
+
+class TestTable4:
+    def test_joint_beats_none(self):
+        res = experiment_table4(datasets=("S2", "FR"), query=TINY_Q,
+                                scale="tiny")
+        for ds, cells in res.data.items():
+            assert cells["joint"] <= cells["none"] * 1.05, ds
+
+
+class TestFig10:
+    def test_bcpar_beats_metis(self):
+        res = experiment_fig10(dataset="OR", scale="tiny",
+                               queries=[BicliqueQuery(2, 2)])
+        cell = res.data["(2,2)"]
+        assert cell["bcpar_throughput"] > 0
+        assert cell["bcpar"].on_demand_transfer_words == 0
+        assert cell["bcpar_throughput"] >= cell["metis_throughput"]
+
+
+class TestTable5:
+    def test_components_positive(self):
+        res = experiment_table5(datasets=("YT",), query=TINY_Q,
+                                scale="tiny", border_iterations=8)
+        comp = res.data["YT"]
+        assert comp["htb_transform"] > 0
+        assert comp["reorder"] > 0
+        assert comp["counting"] > 0
+
+
+class TestFig11:
+    def test_hybrid_wins_time_costs_memory(self):
+        res = experiment_fig11(datasets=("YT", "S1"), query=TINY_Q,
+                               scale="tiny")
+        for ds, cell in res.data.items():
+            assert cell["memory_ratio"] >= 1.0, ds
+            assert cell["speedup"] >= 0.9, ds

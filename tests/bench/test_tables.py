@@ -1,0 +1,45 @@
+"""Tests for text rendering of tables and figures."""
+
+from repro.bench.figures import render_breakdown_bars, render_series
+from repro.bench.tables import format_ratio, format_seconds, render_table
+
+
+class TestFormatSeconds:
+    def test_ranges(self):
+        assert format_seconds(float("inf")) == "INF"
+        assert format_seconds(250.0) == "250s"
+        assert format_seconds(2.5) == "2.50s"
+        assert format_seconds(0.0025) == "2.50ms"
+        assert format_seconds(2.5e-6) == "2.50us"
+        assert format_seconds(5e-10) == "0.5ns"
+
+    def test_ratio(self):
+        assert format_ratio(2.0) == "2.00x"
+        assert format_ratio(float("inf")) == "inf"
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        out = render_table("T", ["a", "bb"], [["x", "y"], ["long-cell", "z"]])
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        # all data rows equal width
+        assert len(set(len(l) for l in lines[2:])) <= 2
+
+    def test_contains_cells(self):
+        out = render_table("T", ["col"], [["value42"]])
+        assert "value42" in out
+
+
+class TestRenderSeries:
+    def test_rows_per_method(self):
+        out = render_series("F", "x", [1, 2], {"m1": [0.1, 0.2],
+                                               "m2": [1.0, 2.0]})
+        assert "m1" in out and "m2" in out
+        assert "100.00ms" in out
+
+
+class TestRenderBreakdown:
+    def test_bars(self):
+        out = render_breakdown_bars("B", ["d1"], {"a": [0.6], "b": [0.4]})
+        assert "a=60.0%" in out and "b=40.0%" in out

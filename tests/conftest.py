@@ -1,0 +1,78 @@
+"""Shared fixtures: small deterministic graphs and a small device."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.counts import BicliqueQuery
+from repro.gpu.device import small_test_device
+from repro.graph.builders import complete_bipartite, from_adjacency, from_edges
+from repro.graph.generators import (
+    paper_synthetic,
+    planted_bicliques,
+    power_law_bipartite,
+    random_bipartite,
+)
+
+
+@pytest.fixture
+def paper_graph():
+    """The running example of Fig. 1(a): u0..u4 on U, v0..v4 on V.
+
+    Adjacency reconstructed from Examples 1-3: N(u1) = {v0,v1,v2},
+    N(u2) = {v0,v1,v2,v4}, N(u3) = {v1,v2,v3}, N(u4) = {v0,v2,v3,v4},
+    N(u0) = {v3,v4}; the shared-neighbour relations of Example 1 hold
+    (u2&u3 share {v1,v2}, u2&u4 share {v0,v2,v4}, u3&u4 share {v2,v3}) and
+    exactly two (3,2)-bicliques exist: ({u1,u2,u3},{v1,v2}) and
+    ({u1,u2,u4},{v0,v2}) — Example 2.
+    """
+    return from_adjacency({
+        0: [3, 4],
+        1: [0, 1, 2],
+        2: [0, 1, 2, 4],
+        3: [1, 2, 3],
+        4: [0, 2, 3, 4],
+    }, num_u=5, num_v=5, name="fig1a")
+
+
+@pytest.fixture
+def small_random():
+    return random_bipartite(30, 25, 120, seed=3, name="small-random")
+
+
+@pytest.fixture
+def medium_power_law():
+    return power_law_bipartite(80, 60, 400, seed=5, name="medium-pl")
+
+
+@pytest.fixture
+def synthetic_graph():
+    return paper_synthetic(48, 40, mean_degree=8, locality=16, seed=9,
+                           name="small-syn")
+
+
+@pytest.fixture
+def planted_graph():
+    return planted_bicliques(20, 20, [(4, 3), (3, 4), (5, 2)],
+                             noise_edges=0, seed=1, name="plants")
+
+
+@pytest.fixture
+def k45():
+    return complete_bipartite(4, 5)
+
+
+@pytest.fixture
+def device():
+    return small_test_device()
+
+
+@pytest.fixture
+def query_32():
+    return BicliqueQuery(3, 2)
+
+
+def pytest_addoption(parser):
+    parser.addoption("--bench-scale", action="store", default="bench",
+                     help="dataset scale for benchmark runs (tiny/bench/full)")

@@ -1,0 +1,27 @@
+"""Tests for the Basic model."""
+
+from repro.core.basic import basic_count
+from repro.core.counts import BicliqueQuery
+from repro.core.verify import brute_force_count
+
+
+class TestBasic:
+    def test_paper_example(self, paper_graph):
+        assert basic_count(paper_graph, BicliqueQuery(3, 2)).count == 2
+
+    def test_matches_brute_force(self, synthetic_graph):
+        for pq in [(2, 2), (3, 2), (2, 4)]:
+            q = BicliqueQuery(*pq)
+            assert basic_count(synthetic_graph, q).count == \
+                brute_force_count(synthetic_graph, q)
+
+    def test_always_anchors_u(self, paper_graph):
+        res = basic_count(paper_graph, BicliqueQuery(3, 2))
+        assert res.anchored_layer == "U"
+
+    def test_p_equals_one(self, paper_graph):
+        from math import comb
+        res = basic_count(paper_graph, BicliqueQuery(1, 2))
+        expected = sum(comb(paper_graph.degree("U", u), 2)
+                       for u in range(paper_graph.num_u))
+        assert res.count == expected

@@ -1,0 +1,48 @@
+"""Tests for BCLP's thread scheduling model."""
+
+import pytest
+
+from repro.core.bclp import bclp_count, schedule_makespan
+from repro.core.counts import BicliqueQuery
+
+
+class TestScheduleMakespan:
+    def test_single_thread_is_sum(self):
+        assert schedule_makespan([1.0, 2.0, 3.0], 1) == 6.0
+
+    def test_many_threads_is_max(self):
+        assert schedule_makespan([1.0, 2.0, 3.0], 10) == 3.0
+
+    def test_list_scheduling_order(self):
+        # arrival order matters: [4,1,1,1,1] on 2 threads -> 4 vs 4x1
+        assert schedule_makespan([4.0, 1.0, 1.0, 1.0, 1.0], 2) == 4.0
+
+    def test_empty(self):
+        assert schedule_makespan([], 4) == 0.0
+
+
+class TestBCLPCount:
+    def test_count_matches_bcl(self, medium_power_law):
+        from repro.core.bcl import bcl_count
+        q = BicliqueQuery(3, 2)
+        assert bclp_count(medium_power_law, q).count == \
+            bcl_count(medium_power_law, q).count
+
+    def test_speedup_reported(self, medium_power_law):
+        res = bclp_count(medium_power_law, BicliqueQuery(3, 2), threads=8)
+        assert res.breakdown["threads"] == 8.0
+        assert res.breakdown["speedup_vs_sequential"] >= 1.0
+
+    def test_more_threads_not_slower(self, medium_power_law):
+        q = BicliqueQuery(3, 3)
+        t1 = bclp_count(medium_power_law, q, threads=1)
+        t16 = bclp_count(medium_power_law, q, threads=16)
+        # modelled makespan shrinks (or stays equal) with more threads
+        assert t16.breakdown["makespan_seconds"] <= \
+            t1.breakdown["makespan_seconds"] * 1.05
+
+    def test_wall_time_is_makespan_plus_prep(self, medium_power_law):
+        res = bclp_count(medium_power_law, BicliqueQuery(2, 2))
+        assert res.wall_seconds == pytest.approx(
+            res.breakdown["preprocessing_seconds"]
+            + res.breakdown["makespan_seconds"])

@@ -1,0 +1,31 @@
+"""Tests for the wedge-based butterfly counter."""
+
+from math import comb
+
+from repro.core.butterfly import butterfly_count
+from repro.core.counts import BicliqueQuery
+from repro.core.verify import brute_force_count
+from repro.graph.builders import complete_bipartite, empty_graph
+from repro.graph.generators import random_bipartite, star_bipartite
+
+
+class TestButterfly:
+    def test_complete(self):
+        g = complete_bipartite(4, 4)
+        assert butterfly_count(g).count == comb(4, 2) * comb(4, 2)
+
+    def test_star_has_none(self):
+        assert butterfly_count(star_bipartite(10)).count == 0
+
+    def test_empty(self):
+        assert butterfly_count(empty_graph(4, 4)).count == 0
+
+    def test_matches_brute_force(self, small_random, medium_power_law):
+        for g in (small_random, medium_power_law):
+            assert butterfly_count(g).count == \
+                brute_force_count(g, BicliqueQuery(2, 2))
+
+    def test_matches_gbc(self, small_random):
+        from repro.core.gbc import gbc_count
+        assert butterfly_count(small_random).count == \
+            gbc_count(small_random, BicliqueQuery(2, 2)).count

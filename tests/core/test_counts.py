@@ -1,0 +1,45 @@
+"""Tests for query/result types and anchoring."""
+
+import pytest
+
+from repro.core.counts import BicliqueQuery, anchored_view
+from repro.errors import QueryError
+from repro.graph.bipartite import LAYER_U, LAYER_V
+from repro.graph.builders import from_adjacency
+
+
+class TestBicliqueQuery:
+    def test_valid(self):
+        q = BicliqueQuery(3, 4)
+        assert q.p == 3 and q.q == 4
+
+    @pytest.mark.parametrize("p,q", [(0, 1), (1, 0), (-1, 2)])
+    def test_invalid(self, p, q):
+        with pytest.raises(QueryError):
+            BicliqueQuery(p, q)
+
+    def test_swapped(self):
+        assert BicliqueQuery(2, 5).swapped() == BicliqueQuery(5, 2)
+
+    def test_str(self):
+        assert str(BicliqueQuery(3, 4)) == "(3,4)"
+
+
+class TestAnchoredView:
+    def test_forced_u(self, paper_graph):
+        g, p, q, layer = anchored_view(paper_graph, BicliqueQuery(3, 2),
+                                       layer=LAYER_U)
+        assert layer == LAYER_U and (p, q) == (3, 2)
+        assert g.num_u == paper_graph.num_u
+
+    def test_forced_v_swaps(self, paper_graph):
+        g, p, q, layer = anchored_view(paper_graph, BicliqueQuery(3, 2),
+                                       layer=LAYER_V)
+        assert layer == LAYER_V and (p, q) == (2, 3)
+        assert g.num_u == paper_graph.num_v
+
+    def test_auto_picks_cheap_layer(self):
+        # V is one big hub: anchor must go to V
+        g = from_adjacency({u: [0] for u in range(10)})
+        _, _, _, layer = anchored_view(g, BicliqueQuery(2, 2))
+        assert layer == LAYER_V

@@ -1,0 +1,61 @@
+"""Tests for biclique enumeration."""
+
+from itertools import combinations
+
+import pytest
+
+from repro.core.counts import BicliqueQuery
+from repro.core.enumerate import enumerate_bicliques
+from repro.core.verify import brute_force_count
+from repro.graph.bipartite import LAYER_U, LAYER_V
+
+
+def _is_biclique(graph, left, right) -> bool:
+    return all(graph.has_edge(u, v) for u in left for v in right)
+
+
+class TestEnumerate:
+    def test_paper_example(self, paper_graph):
+        out = set(enumerate_bicliques(paper_graph, BicliqueQuery(3, 2)))
+        assert out == {((1, 2, 3), (1, 2)), ((1, 2, 4), (0, 2))}
+
+    def test_count_matches_brute_force(self, small_random):
+        for pq in [(2, 2), (3, 2), (2, 3)]:
+            q = BicliqueQuery(*pq)
+            items = list(enumerate_bicliques(small_random, q))
+            assert len(items) == brute_force_count(small_random, q)
+
+    def test_no_duplicates(self, medium_power_law):
+        q = BicliqueQuery(2, 2)
+        items = list(enumerate_bicliques(medium_power_law, q))
+        assert len(items) == len(set(items))
+
+    def test_all_outputs_are_bicliques(self, small_random):
+        q = BicliqueQuery(2, 3)
+        for left, right in enumerate_bicliques(small_random, q):
+            assert len(left) == 2 and len(right) == 3
+            assert _is_biclique(small_random, left, right)
+
+    def test_limit(self, medium_power_law):
+        q = BicliqueQuery(2, 2)
+        items = list(enumerate_bicliques(medium_power_law, q, limit=7))
+        assert len(items) == 7
+
+    def test_limit_larger_than_count(self, paper_graph):
+        items = list(enumerate_bicliques(paper_graph, BicliqueQuery(3, 2),
+                                         limit=10**6))
+        assert len(items) == 2
+
+    def test_anchor_v_orientation_preserved(self, small_random):
+        """Regardless of anchoring, L holds U ids and R holds V ids."""
+        q = BicliqueQuery(2, 2)
+        for layer in (LAYER_U, LAYER_V):
+            for left, right in enumerate_bicliques(small_random, q,
+                                                   layer=layer, limit=20):
+                assert _is_biclique(small_random, left, right)
+
+    def test_empty_graph(self):
+        from repro.graph.builders import empty_graph
+        items = list(enumerate_bicliques(empty_graph(3, 3),
+                                         BicliqueQuery(1, 1)))
+        assert items == []

@@ -1,0 +1,51 @@
+"""Tests for the sampling estimator."""
+
+import numpy as np
+import pytest
+
+from repro.core.counts import BicliqueQuery
+from repro.core.estimate import estimate_count
+from repro.core.verify import brute_force_count
+
+
+class TestEstimate:
+    def test_exact_when_samples_cover_population(self, small_random):
+        q = BicliqueQuery(2, 2)
+        res = estimate_count(small_random, q, samples=10**6)
+        assert res.estimate == brute_force_count(small_random, q)
+        assert res.std_error == 0.0
+
+    def test_deterministic_given_seed(self, medium_power_law):
+        q = BicliqueQuery(2, 2)
+        a = estimate_count(medium_power_law, q, samples=10, seed=42)
+        b = estimate_count(medium_power_law, q, samples=10, seed=42)
+        assert a.estimate == b.estimate
+
+    def test_unbiased_over_seeds(self, medium_power_law):
+        """Mean over many seeds approaches the truth (HT unbiasedness)."""
+        q = BicliqueQuery(2, 2)
+        truth = brute_force_count(medium_power_law, q)
+        estimates = [estimate_count(medium_power_law, q, samples=24,
+                                    seed=s).estimate for s in range(40)]
+        mean = float(np.mean(estimates))
+        assert abs(mean - truth) / truth < 0.25
+
+    def test_error_shrinks_with_samples(self, medium_power_law):
+        q = BicliqueQuery(2, 2)
+        truth = brute_force_count(medium_power_law, q)
+        few = [estimate_count(medium_power_law, q, samples=4,
+                              seed=s).relative_error(truth)
+               for s in range(12)]
+        many = [estimate_count(medium_power_law, q, samples=48,
+                               seed=s).relative_error(truth)
+                for s in range(12)]
+        assert float(np.mean(many)) <= float(np.mean(few)) + 0.05
+
+    def test_empty_graph(self):
+        from repro.graph.builders import empty_graph
+        res = estimate_count(empty_graph(4, 4), BicliqueQuery(2, 2))
+        assert res.estimate == 0.0 and res.population == 0
+
+    def test_relative_error_zero_truth(self, small_random):
+        res = estimate_count(small_random, BicliqueQuery(2, 2), samples=4)
+        assert res.relative_error(0) == abs(res.estimate)

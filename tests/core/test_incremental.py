@@ -1,0 +1,72 @@
+"""Tests for dynamic butterfly maintenance."""
+
+import numpy as np
+import pytest
+
+from repro.core.incremental import DynamicButterflyCounter
+from repro.errors import GraphValidationError
+from repro.graph.builders import complete_bipartite
+from repro.graph.generators import random_bipartite
+
+
+class TestDynamicButterflies:
+    def test_from_graph_matches_static(self, small_random):
+        counter = DynamicButterflyCounter.from_graph(small_random)
+        assert counter.butterflies == counter.recount()
+
+    def test_insert_matches_recount(self):
+        rng = np.random.default_rng(3)
+        counter = DynamicButterflyCounter.empty(12, 12)
+        for _ in range(60):
+            u = int(rng.integers(0, 12))
+            v = int(rng.integers(0, 12))
+            if not counter.has_edge(u, v):
+                counter.insert(u, v)
+                assert counter.butterflies == counter.recount()
+
+    def test_delete_matches_recount(self):
+        g = random_bipartite(10, 10, 50, seed=4)
+        counter = DynamicButterflyCounter.from_graph(g)
+        rng = np.random.default_rng(5)
+        edges = list(g.edges())
+        rng.shuffle(edges)
+        for u, v in edges[:25]:
+            counter.delete(u, int(v))
+            assert counter.butterflies == counter.recount()
+
+    def test_insert_delete_roundtrip(self):
+        g = random_bipartite(8, 8, 30, seed=6)
+        counter = DynamicButterflyCounter.from_graph(g)
+        before = counter.butterflies
+        created = counter.insert(0, 7) if not counter.has_edge(0, 7) else 0
+        if counter.has_edge(0, 7):
+            destroyed = counter.delete(0, 7)
+            assert destroyed == created or before == counter.butterflies
+        assert counter.butterflies == counter.recount()
+
+    def test_complete_graph_formula(self):
+        from math import comb
+        counter = DynamicButterflyCounter.from_graph(complete_bipartite(4, 4))
+        assert counter.butterflies == comb(4, 2) ** 2
+
+    def test_duplicate_insert_rejected(self):
+        counter = DynamicButterflyCounter.empty(2, 2)
+        counter.insert(0, 0)
+        with pytest.raises(GraphValidationError):
+            counter.insert(0, 0)
+
+    def test_missing_delete_rejected(self):
+        counter = DynamicButterflyCounter.empty(2, 2)
+        with pytest.raises(GraphValidationError):
+            counter.delete(0, 0)
+
+    def test_out_of_range(self):
+        counter = DynamicButterflyCounter.empty(2, 2)
+        with pytest.raises(GraphValidationError):
+            counter.insert(5, 0)
+
+    def test_update_counter(self):
+        counter = DynamicButterflyCounter.empty(3, 3)
+        counter.insert(0, 0)
+        counter.insert(1, 1)
+        assert counter.updates_applied == 2

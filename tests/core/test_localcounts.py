@@ -1,0 +1,83 @@
+"""Tests for per-vertex local biclique counts."""
+
+from itertools import combinations
+from math import comb
+
+import numpy as np
+import pytest
+
+from repro.core.counts import BicliqueQuery
+from repro.core.localcounts import local_biclique_counts
+from repro.core.verify import brute_force_count
+from repro.graph.bipartite import LAYER_U, LAYER_V
+from repro.graph.builders import complete_bipartite
+
+
+def _brute_local(graph, p, q):
+    """Reference: enumerate all bicliques, attribute to members."""
+    cu = np.zeros(graph.num_u, dtype=object)
+    cv = np.zeros(graph.num_v, dtype=object)
+    total = 0
+    for L in combinations(range(graph.num_u), p):
+        common = None
+        for u in L:
+            nbrs = set(map(int, graph.neighbors(LAYER_U, u)))
+            common = nbrs if common is None else (common & nbrs)
+        if common is None or len(common) < q:
+            continue
+        found = comb(len(common), q)
+        total += found
+        for u in L:
+            cu[u] += found
+        share = comb(len(common) - 1, q - 1)
+        for v in common:
+            cv[v] += share
+    return total, cu, cv
+
+
+class TestLocalCounts:
+    @pytest.mark.parametrize("pq", [(2, 2), (3, 2), (2, 3)])
+    def test_matches_reference(self, small_random, pq):
+        q = BicliqueQuery(*pq)
+        res = local_biclique_counts(small_random, q)
+        total, cu, cv = _brute_local(small_random, *pq)
+        assert res.total == total
+        assert res.counts_u.tolist() == cu.tolist()
+        assert res.counts_v.tolist() == cv.tolist()
+
+    def test_sum_identities(self, medium_power_law):
+        q = BicliqueQuery(3, 2)
+        res = local_biclique_counts(medium_power_law, q)
+        assert sum(res.counts_u) == q.p * res.total
+        assert sum(res.counts_v) == q.q * res.total
+
+    def test_total_matches_global(self, synthetic_graph):
+        q = BicliqueQuery(2, 3)
+        res = local_biclique_counts(synthetic_graph, q)
+        assert res.total == brute_force_count(synthetic_graph, q)
+
+    def test_complete_graph_uniform(self):
+        g = complete_bipartite(4, 5)
+        res = local_biclique_counts(g, BicliqueQuery(2, 3))
+        # symmetry: every U vertex participates equally
+        assert len(set(res.counts_u.tolist())) == 1
+        assert len(set(res.counts_v.tolist())) == 1
+
+    def test_paper_example(self, paper_graph):
+        res = local_biclique_counts(paper_graph, BicliqueQuery(3, 2))
+        # two bicliques: {u1,u2,u3}x{v1,v2} and {u1,u2,u4}x{v0,v2}
+        assert res.total == 2
+        assert res.counts_u.tolist() == [0, 2, 2, 1, 1]
+        assert res.counts_v.tolist() == [1, 1, 2, 0, 0]
+
+    def test_top_vertices(self, paper_graph):
+        res = local_biclique_counts(paper_graph, BicliqueQuery(3, 2))
+        top = res.top_vertices(LAYER_U, k=2)
+        assert {t[0] for t in top} == {1, 2}
+
+    def test_forced_v_anchor(self, small_random):
+        q = BicliqueQuery(2, 2)
+        a = local_biclique_counts(small_random, q, layer=LAYER_U)
+        b = local_biclique_counts(small_random, q, layer=LAYER_V)
+        assert a.counts_u.tolist() == b.counts_u.tolist()
+        assert a.counts_v.tolist() == b.counts_v.tolist()

@@ -1,0 +1,42 @@
+"""Tests for the search-tree profiler."""
+
+import pytest
+
+from repro.core.counts import BicliqueQuery
+from repro.core.profile import profile_search
+from repro.core.verify import brute_force_count
+from repro.graph.generators import paper_synthetic, power_law_bipartite
+
+
+class TestProfileSearch:
+    def test_leaf_count_matches_structure(self, medium_power_law):
+        q = BicliqueQuery(3, 2)
+        profile = profile_search(medium_power_law, q)
+        # depth p level exists whenever bicliques exist
+        if brute_force_count(medium_power_law, q) > 0:
+            assert profile.levels[-1].leaves > 0
+
+    def test_depth_bounded_by_p(self, medium_power_law):
+        q = BicliqueQuery(3, 2)
+        profile = profile_search(medium_power_law, q)
+        # anchoring may swap p and q; depth is bounded by max(p, q)
+        assert len(profile.levels) <= max(q.p, q.q) + 1
+
+    def test_mean_cl_shrinks_with_depth(self):
+        """The §IV claim: candidate sets shrink as the search deepens."""
+        g = paper_synthetic(120, 100, mean_degree=10, locality=24, seed=31)
+        profile = profile_search(g, BicliqueQuery(4, 3))
+        assert profile.shrink_ratio() < 1.0
+
+    def test_totals_consistent(self, medium_power_law):
+        q = BicliqueQuery(3, 2)
+        profile = profile_search(medium_power_law, q)
+        assert profile.total_nodes() >= profile.roots
+        for lv in profile.levels:
+            assert lv.nodes >= 0 and lv.pruned_cr >= 0
+
+    def test_empty_graph(self):
+        from repro.graph.builders import empty_graph
+        profile = profile_search(empty_graph(4, 4), BicliqueQuery(2, 2))
+        assert profile.roots == 0
+        assert profile.total_nodes() == 0

@@ -1,0 +1,55 @@
+"""Tests for the brute-force ground-truth counter itself."""
+
+from math import comb
+
+import pytest
+
+from repro.core.counts import BicliqueQuery
+from repro.core.verify import brute_force_count, brute_force_count_both_anchors
+from repro.graph.bipartite import LAYER_V
+from repro.graph.builders import complete_bipartite, empty_graph
+from repro.graph.generators import planted_bicliques, star_bipartite
+
+
+class TestClosedForms:
+    @pytest.mark.parametrize("p,q", [(1, 1), (2, 2), (2, 3), (3, 2), (4, 5)])
+    def test_complete_bipartite(self, p, q):
+        g = complete_bipartite(4, 5)
+        assert brute_force_count(g, BicliqueQuery(p, q)) == \
+            comb(4, p) * comb(5, q)
+
+    def test_paper_example2(self, paper_graph):
+        """Figure 1(a) contains exactly two (3,2)-bicliques."""
+        assert brute_force_count(paper_graph, BicliqueQuery(3, 2)) == 2
+
+    def test_star(self):
+        g = star_bipartite(6, center_on_u=True)
+        assert brute_force_count(g, BicliqueQuery(1, 3)) == comb(6, 3)
+        assert brute_force_count(g, BicliqueQuery(2, 1)) == 0
+
+    def test_planted(self):
+        g = planted_bicliques(20, 20, [(4, 3), (3, 4)], seed=0)
+        q = BicliqueQuery(2, 2)
+        expected = comb(4, 2) * comb(3, 2) + comb(3, 2) * comb(4, 2)
+        assert brute_force_count(g, q) == expected
+
+    def test_empty_graph(self):
+        assert brute_force_count(empty_graph(5, 5), BicliqueQuery(1, 1)) == 0
+
+    def test_p_larger_than_layer(self):
+        g = complete_bipartite(2, 2)
+        assert brute_force_count(g, BicliqueQuery(3, 1)) == 0
+
+    def test_edges_are_11_bicliques(self, paper_graph):
+        assert brute_force_count(paper_graph, BicliqueQuery(1, 1)) == \
+            paper_graph.num_edges
+
+
+class TestAnchors:
+    def test_both_anchors_agree(self, small_random):
+        for pq in [(2, 2), (3, 2), (2, 3)]:
+            brute_force_count_both_anchors(small_random, BicliqueQuery(*pq))
+
+    def test_v_anchor_value(self, paper_graph):
+        assert brute_force_count(paper_graph, BicliqueQuery(3, 2),
+                                 anchor=LAYER_V) == 2

@@ -1,0 +1,61 @@
+"""Tests for the cycle cost model."""
+
+import pytest
+
+from repro.gpu.costmodel import effective_cycles, kernel_cycles, kernel_seconds
+from repro.gpu.device import rtx_3090
+from repro.gpu.metrics import KernelMetrics
+
+
+def _metrics(**kw):
+    m = KernelMetrics()
+    for k, v in kw.items():
+        setattr(m, k, v)
+    return m
+
+
+class TestKernelCycles:
+    def test_zero(self):
+        assert kernel_cycles(KernelMetrics(), rtx_3090()) == 0.0
+
+    def test_linear_components(self):
+        spec = rtx_3090()
+        m = _metrics(global_transactions=2, comparisons=10, atomics=1)
+        expected = (2 * spec.global_latency_cycles
+                    + 10 * spec.cycles_per_op
+                    + spec.atomic_latency_cycles)
+        assert kernel_cycles(m, spec) == expected
+
+    def test_shared_cheaper_than_global(self):
+        spec = rtx_3090()
+        g = _metrics(global_transactions=100)
+        s = _metrics(shared_accesses=100)
+        assert kernel_cycles(s, spec) < kernel_cycles(g, spec)
+
+
+class TestEffectiveCycles:
+    def test_full_utilization_matches_plain(self):
+        spec = rtx_3090()
+        m = _metrics(comparisons=100, thread_slots_total=32,
+                     thread_slots_active=32)
+        assert effective_cycles(m, spec) == kernel_cycles(m, spec)
+
+    def test_low_utilization_inflates_compute(self):
+        spec = rtx_3090()
+        m = _metrics(comparisons=100, thread_slots_total=64,
+                     thread_slots_active=16)
+        assert effective_cycles(m, spec) == pytest.approx(400.0)
+
+    def test_memory_not_inflated(self):
+        spec = rtx_3090()
+        m = _metrics(global_transactions=3, thread_slots_total=64,
+                     thread_slots_active=1)
+        assert effective_cycles(m, spec) == 3 * spec.global_latency_cycles
+
+
+class TestKernelSeconds:
+    def test_scaling_with_blocks(self):
+        spec = rtx_3090()
+        m = _metrics(comparisons=spec.clock_hz)  # one second of serial ops
+        assert kernel_seconds(m, spec, parallel_blocks=1) == pytest.approx(1.0)
+        assert kernel_seconds(m, spec, parallel_blocks=10) == pytest.approx(0.1)

@@ -1,0 +1,34 @@
+"""Tests for the simulated device specification."""
+
+import pytest
+
+from repro.errors import DeviceError
+from repro.gpu.device import DeviceSpec, rtx_3090, small_test_device
+
+
+class TestDeviceSpec:
+    def test_rtx3090_matches_paper(self):
+        spec = rtx_3090()
+        assert spec.num_sms == 82
+        assert spec.total_cores == 10496
+        assert spec.warp_size == 32
+
+    def test_words_per_transaction(self):
+        assert rtx_3090().words_per_transaction == 32
+
+    def test_threads_per_block(self):
+        spec = small_test_device(warps_per_block=2)
+        assert spec.threads_per_block == 64
+
+    def test_seconds_conversion(self):
+        spec = rtx_3090()
+        assert spec.seconds(spec.clock_hz) == pytest.approx(1.0)
+
+    def test_rejects_bad_warp_size(self):
+        with pytest.raises(DeviceError):
+            DeviceSpec(name="bad", num_sms=1, cores_per_sm=1, warp_size=0)
+
+    def test_rejects_partial_word_transactions(self):
+        with pytest.raises(DeviceError):
+            DeviceSpec(name="bad", num_sms=1, cores_per_sm=1,
+                       transaction_bytes=130)

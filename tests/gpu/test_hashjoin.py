@@ -1,0 +1,73 @@
+"""Tests for the hash-based intersection comparator."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.device import rtx_3090
+from repro.gpu.hashjoin import HashedList, build_hash_table, hash_intersect
+from repro.gpu.intersect import binary_search_intersect
+from repro.gpu.metrics import KernelMetrics
+
+
+def _arr(*xs):
+    return np.asarray(xs, dtype=np.int64)
+
+
+class TestHashedList:
+    def test_all_values_stored(self):
+        vals = _arr(1, 5, 9, 33, 64, 65)
+        table = HashedList(vals)
+        stored = sorted(x for x in table.buckets.tolist() if x >= 0)
+        assert stored == vals.tolist()
+
+    def test_bucket_placement(self):
+        table = HashedList(_arr(0, 7, 14))
+        for x in (0, 7, 14):
+            b = x % table.num_buckets
+            row = table.buckets[b * table.slots_per_bucket:
+                                (b + 1) * table.slots_per_bucket]
+            assert x in row.tolist()
+
+    def test_empty(self):
+        table = HashedList(_arr())
+        assert table.table_words >= 1
+
+
+class TestHashIntersect:
+    def test_matches_reference(self):
+        rng = np.random.default_rng(7)
+        spec = rtx_3090()
+        for _ in range(40):
+            a = np.unique(rng.integers(0, 600, rng.integers(0, 60)))
+            b = np.unique(rng.integers(0, 600, rng.integers(1, 120)))
+            table = build_hash_table(b, spec)
+            m = KernelMetrics()
+            got = hash_intersect(a, table, spec, m)
+            assert np.array_equal(got, np.intersect1d(a, b))
+
+    def test_empty_inputs(self):
+        spec = rtx_3090()
+        table = build_hash_table(_arr(1, 2), spec)
+        assert len(hash_intersect(_arr(), table, spec, KernelMetrics())) == 0
+
+    def test_build_charged(self):
+        spec = rtx_3090()
+        m = KernelMetrics()
+        build_hash_table(np.arange(256), spec, metrics=m)
+        assert m.global_transactions > 0
+
+    def test_fewer_comparisons_than_binary_search_on_long_lists(self):
+        """The hashing trade: O(1) probes beat O(log n) on long lists."""
+        spec = rtx_3090()
+        keys = np.arange(0, 512, 4, dtype=np.int64)
+        lst = np.arange(0, 8192, 2, dtype=np.int64)
+        mb = KernelMetrics()
+        binary_search_intersect(keys, lst, spec, mb)
+        table = build_hash_table(lst, spec)
+        mh = KernelMetrics()
+        hash_intersect(keys, table, spec, mh)
+        assert mh.comparisons < mb.comparisons
+
+    def test_table_memory_overhead_reported(self):
+        table = build_hash_table(np.arange(100), rtx_3090())
+        assert table.table_words >= 100

@@ -1,0 +1,117 @@
+"""Tests for simulated-device set intersection."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.device import rtx_3090, small_test_device
+from repro.gpu.intersect import (
+    binary_search_intersect,
+    membership_mask,
+    merge_intersect,
+)
+from repro.gpu.metrics import KernelMetrics
+
+
+def _arr(*xs):
+    return np.asarray(xs, dtype=np.int64)
+
+
+class TestBinarySearchIntersect:
+    def test_basic_result(self):
+        m = KernelMetrics()
+        out = binary_search_intersect(_arr(3, 10, 23, 102),
+                                      _arr(3, 8, 10, 17, 73, 79, 82),
+                                      rtx_3090(), m)
+        assert out.tolist() == [3, 10]
+
+    def test_empty_inputs(self):
+        m = KernelMetrics()
+        spec = rtx_3090()
+        assert len(binary_search_intersect(_arr(), _arr(1, 2), spec, m)) == 0
+        assert len(binary_search_intersect(_arr(1), _arr(), spec, m)) == 0
+
+    def test_disjoint(self):
+        m = KernelMetrics()
+        out = binary_search_intersect(_arr(1, 3), _arr(2, 4), rtx_3090(), m)
+        assert len(out) == 0
+
+    def test_matches_reference_random(self):
+        rng = np.random.default_rng(0)
+        spec = rtx_3090()
+        for _ in range(50):
+            a = np.unique(rng.integers(0, 200, rng.integers(0, 40)))
+            b = np.unique(rng.integers(0, 200, rng.integers(0, 80)))
+            m = KernelMetrics()
+            got = binary_search_intersect(a, b, spec, m)
+            assert np.array_equal(got, np.intersect1d(a, b))
+
+    def test_counts_transactions(self):
+        m = KernelMetrics()
+        binary_search_intersect(_arr(3, 10, 23, 102),
+                                _arr(3, 8, 10, 17, 73, 79, 82),
+                                rtx_3090(), m)
+        assert m.global_transactions > 0
+        assert m.comparisons > 0
+        assert m.intersection_calls == 1
+
+    def test_longer_list_more_comparisons(self):
+        spec = rtx_3090()
+        keys = np.arange(0, 64, 2, dtype=np.int64)
+        short = np.arange(100, dtype=np.int64)
+        long = np.arange(4000, dtype=np.int64)
+        m1, m2 = KernelMetrics(), KernelMetrics()
+        binary_search_intersect(keys, short, spec, m1)
+        binary_search_intersect(keys, long, spec, m2)
+        assert m2.comparisons > m1.comparisons
+
+    def test_small_and_vector_paths_agree(self):
+        """The pure-Python fast path must account identically to the
+        vectorised path (result, transactions, comparisons, words)."""
+        from repro.gpu.intersect import (
+            _lockstep_binary_search_small,
+            _lockstep_binary_search_vec,
+        )
+        rng = np.random.default_rng(1)
+        spec = rtx_3090()
+        for _ in range(40):
+            keys = np.unique(rng.integers(0, 500, rng.integers(1, 50)))
+            lst = np.unique(rng.integers(0, 500, rng.integers(1, 100)))
+            m1, m2 = KernelMetrics(), KernelMetrics()
+            f1 = _lockstep_binary_search_small(keys, lst, spec, m1, 7)
+            f2 = _lockstep_binary_search_vec(keys, lst, spec, m2, 7)
+            assert np.array_equal(f1, f2)
+            assert m1.global_transactions == m2.global_transactions
+            assert m1.comparisons == m2.comparisons
+            assert m1.global_words == m2.global_words
+
+    def test_slot_recording_toggle(self):
+        spec = small_test_device()
+        keys, lst = _arr(1, 2, 3), _arr(2, 3, 4)
+        m1, m2 = KernelMetrics(), KernelMetrics()
+        binary_search_intersect(keys, lst, spec, m1, record_slots=True)
+        binary_search_intersect(keys, lst, spec, m2, record_slots=False)
+        assert m1.thread_slots_total > 0
+        assert m2.thread_slots_total == 0
+
+
+class TestMergeIntersect:
+    def test_result(self):
+        out = merge_intersect(_arr(1, 3, 5), _arr(3, 4, 5))
+        assert out.tolist() == [3, 5]
+
+    def test_comparison_cell(self):
+        cell = [0]
+        merge_intersect(_arr(1, 2), _arr(2, 3, 4), cell)
+        assert cell[0] == 5
+
+    def test_empty(self):
+        assert len(merge_intersect(_arr(), _arr(1))) == 0
+
+
+class TestMembershipMask:
+    def test_mask(self):
+        mask = membership_mask(_arr(1, 2, 3), _arr(2, 3, 9))
+        assert mask.tolist() == [False, True, True]
+
+    def test_empty_keys(self):
+        assert len(membership_mask(_arr(), _arr(1))) == 0

@@ -1,0 +1,63 @@
+"""Tests for the coalesced-transaction accounting model."""
+
+import numpy as np
+
+from repro.gpu.device import rtx_3090
+from repro.gpu.memory import (
+    charge_gather,
+    charge_stream,
+    transactions_for_gather,
+    transactions_for_stream,
+)
+from repro.gpu.metrics import KernelMetrics
+
+
+class TestGatherTransactions:
+    def test_same_segment_is_one(self):
+        # 4 words inside one 32-word segment -> 1 transaction
+        assert transactions_for_gather(np.array([0, 5, 17, 31]), 32) == 1
+
+    def test_spread_segments(self):
+        assert transactions_for_gather(np.array([0, 33, 70]), 32) == 3
+
+    def test_duplicates_collapse(self):
+        assert transactions_for_gather(np.array([5, 5, 6]), 32) == 1
+
+    def test_empty(self):
+        assert transactions_for_gather(np.array([], dtype=np.int64), 32) == 0
+
+    def test_paper_example5_shape(self):
+        """Example 5: 4 keys binary-searched in a 7-element list spanning
+        two 4-int blocks costs 5 transactions; the aligned-gather model
+        reproduces the same per-step distinct-block counting."""
+        # iteration probes from the example: {17}, {8, 79}, {3,10,73,82}
+        txns = (transactions_for_gather(np.array([3]), 4)       # entry 17 @ idx 3
+                + transactions_for_gather(np.array([1, 5]), 4)  # entries 8, 79
+                + transactions_for_gather(np.array([0, 2, 4, 6]), 4))
+        assert txns == 1 + 2 + 2
+
+
+class TestStreamTransactions:
+    def test_rounding_up(self):
+        assert transactions_for_stream(33, 32) == 2
+        assert transactions_for_stream(32, 32) == 1
+
+    def test_zero(self):
+        assert transactions_for_stream(0, 32) == 0
+
+
+class TestCharging:
+    def test_charge_gather_accumulates(self):
+        m = KernelMetrics()
+        spec = rtx_3090()
+        got = charge_gather(m, spec, np.array([0, 100]))
+        assert got == 2
+        assert m.global_transactions == 2
+        assert m.global_words == 2
+
+    def test_charge_stream_accumulates(self):
+        m = KernelMetrics()
+        spec = rtx_3090()
+        charge_stream(m, spec, 64)
+        assert m.global_transactions == 2
+        assert m.global_words == 64

@@ -1,0 +1,49 @@
+"""Tests for KernelMetrics accumulation."""
+
+from repro.gpu.metrics import KernelMetrics
+
+
+class TestMerge:
+    def test_sums_counters(self):
+        a = KernelMetrics(global_transactions=2, comparisons=5)
+        b = KernelMetrics(global_transactions=3, comparisons=1)
+        a.merge(b)
+        assert a.global_transactions == 5
+        assert a.comparisons == 6
+
+    def test_peak_takes_max(self):
+        a = KernelMetrics(shared_bytes_peak=10)
+        b = KernelMetrics(shared_bytes_peak=40)
+        a.merge(b)
+        assert a.shared_bytes_peak == 40
+        a.merge(KernelMetrics(shared_bytes_peak=5))
+        assert a.shared_bytes_peak == 40
+
+    def test_add_does_not_mutate(self):
+        a = KernelMetrics(comparisons=1)
+        b = KernelMetrics(comparisons=2)
+        c = a + b
+        assert c.comparisons == 3
+        assert a.comparisons == 1 and b.comparisons == 2
+
+    def test_copy_detached(self):
+        a = KernelMetrics(comparisons=1)
+        c = a.copy()
+        c.comparisons += 1
+        assert a.comparisons == 1
+
+
+class TestUtilization:
+    def test_default_is_one(self):
+        assert KernelMetrics().utilization == 1.0
+
+    def test_ratio(self):
+        m = KernelMetrics()
+        m.record_slots(8, 32)
+        assert m.utilization == 0.25
+
+    def test_note_shared_peak(self):
+        m = KernelMetrics()
+        m.note_shared_peak(100)
+        m.note_shared_peak(50)
+        assert m.shared_bytes_peak == 100

@@ -1,0 +1,65 @@
+"""Tests for SIMT slot scheduling arithmetic (the §IV formulas)."""
+
+from repro.gpu.device import rtx_3090
+from repro.gpu.metrics import KernelMetrics
+from repro.gpu.simt import record_work, slot_rounds, warp_chunks
+
+
+class TestSlotRounds:
+    def test_exact_fit(self):
+        sr = slot_rounds(64, warps=2, warp_size=32)
+        assert sr.rounds == 1
+        assert sr.utilization == 1.0
+
+    def test_partial_fill(self):
+        sr = slot_rounds(10, warps=2, warp_size=32)
+        assert sr.rounds == 1
+        assert sr.total_slots == 64
+        assert sr.active_slots == 10
+
+    def test_multiple_rounds(self):
+        sr = slot_rounds(100, warps=1, warp_size=32)
+        assert sr.rounds == 4
+
+    def test_zero_work(self):
+        sr = slot_rounds(0, warps=4)
+        assert sr.rounds == 0 and sr.utilization == 1.0
+
+    def test_paper_formula_dfs_vs_bfs(self):
+        """§IV: m keys, k warps, n children.
+        DFS: ceil(m/32k) rounds per child -> n*ceil(m/32k) total.
+        BFS: ceil(m*n/32k) rounds.  For m < 32k the BFS round count is
+        strictly smaller for n > 1."""
+        m, k, n = 10, 2, 6
+        dfs_rounds = n * slot_rounds(m, k).rounds
+        bfs_rounds = slot_rounds(m * n, k).rounds
+        assert dfs_rounds == 6
+        assert bfs_rounds == 1
+        assert bfs_rounds < dfs_rounds
+
+    def test_figure3_example(self):
+        """Fig. 3: 4 threads/warp, |CL|=2, 2 children: DFS needs 2 rounds
+        at 50% utilisation; hybrid needs 1 round at 100%."""
+        dfs = slot_rounds(2, warps=1, warp_size=4)
+        hybrid = slot_rounds(4, warps=1, warp_size=4)
+        assert dfs.rounds * 2 == 2          # one round per child
+        assert dfs.utilization == 0.5
+        assert hybrid.rounds == 1
+        assert hybrid.utilization == 1.0
+
+
+class TestRecordWork:
+    def test_metrics_updated(self):
+        m = KernelMetrics()
+        record_work(m, rtx_3090(), work_items=10, warps=1)
+        assert m.thread_slots_active == 10
+        assert m.thread_slots_total == 32
+        assert m.utilization == 10 / 32
+
+
+class TestWarpChunks:
+    def test_chunking(self):
+        assert list(warp_chunks(70, 32)) == [(0, 32), (32, 64), (64, 70)]
+
+    def test_empty(self):
+        assert list(warp_chunks(0)) == []

@@ -1,0 +1,66 @@
+"""Tests for the GCL work-stealing timeline model."""
+
+import numpy as np
+
+from repro.gpu.device import small_test_device
+from repro.gpu.workqueue import simulate_blocks
+
+
+def _spec():
+    return small_test_device()
+
+
+class TestNoStealing:
+    def test_makespan_is_heaviest_block(self):
+        spec = _spec()
+        res = simulate_blocks([[100.0, 100.0], [10.0]], spec, stealing=False)
+        atomic = spec.atomic_latency_cycles
+        assert res.makespan_cycles == 200.0 + 2 * atomic
+        assert res.steals == 0
+
+    def test_empty(self):
+        res = simulate_blocks([], _spec(), stealing=False)
+        assert res.makespan_cycles == 0.0
+
+    def test_all_empty_blocks(self):
+        res = simulate_blocks([[], []], _spec(), stealing=False)
+        assert res.makespan_cycles == 0.0
+
+
+class TestStealing:
+    def test_idle_block_steals(self):
+        spec = _spec()
+        heavy = [100.0] * 10
+        res = simulate_blocks([heavy, []], spec, stealing=True)
+        assert res.steals > 0
+        no_steal = simulate_blocks([heavy, []], spec, stealing=False)
+        assert res.makespan_cycles < no_steal.makespan_cycles
+
+    def test_balanced_input_needs_no_steals(self):
+        spec = _spec()
+        res = simulate_blocks([[50.0], [50.0]], spec, stealing=True)
+        assert res.steals == 0
+
+    def test_imbalance_improves(self):
+        spec = _spec()
+        rng = np.random.default_rng(0)
+        costs = (rng.pareto(1.1, 64) * 1000 + 100).tolist()
+        skewed = [costs, [], [], []]
+        with_steal = simulate_blocks(skewed, spec, stealing=True)
+        without = simulate_blocks(skewed, spec, stealing=False)
+        assert with_steal.imbalance < without.imbalance
+
+    def test_busy_conservation(self):
+        """Every task's cost appears in some block's busy time."""
+        spec = _spec()
+        tasks = [[10.0, 20.0], [5.0], [40.0, 1.0]]
+        res = simulate_blocks(tasks, spec, stealing=True)
+        paid = float(res.block_busy_cycles.sum())
+        work = sum(sum(t) for t in tasks)
+        assert paid >= work  # work plus overheads
+
+    def test_atomics_counted(self):
+        spec = _spec()
+        res = simulate_blocks([[1.0, 1.0], []], spec, stealing=True)
+        # one atomic per own pop, two per steal
+        assert res.atomics >= 2

@@ -1,0 +1,76 @@
+"""Tests for (α, β)-core decomposition and biclique-safe pruning."""
+
+import numpy as np
+import pytest
+
+from repro.core.counts import BicliqueQuery
+from repro.core.verify import brute_force_count
+from repro.graph.bipartite import LAYER_U, LAYER_V
+from repro.graph.builders import complete_bipartite, from_adjacency
+from repro.graph.cores import alpha_beta_core, prune_for_query
+from repro.graph.generators import planted_bicliques, power_law_bipartite
+
+
+class TestAlphaBetaCore:
+    def test_degrees_satisfied(self):
+        g = power_law_bipartite(100, 80, 500, seed=21)
+        core = alpha_beta_core(g, 2, 3)
+        sub = core.subgraph
+        if sub.num_u:
+            assert int(sub.degrees(LAYER_U).min()) >= 2
+        if sub.num_v:
+            assert int(sub.degrees(LAYER_V).min()) >= 3
+
+    def test_complete_graph_survives(self):
+        g = complete_bipartite(4, 5)
+        core = alpha_beta_core(g, 5, 4)
+        assert core.subgraph.num_edges == 20
+
+    def test_too_strict_empties(self):
+        g = complete_bipartite(3, 3)
+        core = alpha_beta_core(g, 4, 1)
+        assert core.subgraph.num_edges == 0
+
+    def test_cascade(self):
+        # a chain: removing the leaf cascades the whole path for alpha=2
+        g = from_adjacency({0: [0], 1: [0, 1], 2: [1, 2]},
+                           num_u=3, num_v=3)
+        core = alpha_beta_core(g, 2, 2)
+        assert core.subgraph.num_edges == 0
+
+    def test_maximality(self):
+        """Peeling an already-peeled graph is a no-op."""
+        g = power_law_bipartite(80, 60, 400, seed=22)
+        once = alpha_beta_core(g, 2, 2).subgraph
+        twice = alpha_beta_core(once, 2, 2).subgraph
+        assert twice.num_edges == once.num_edges
+
+    def test_reduction_metric(self):
+        g = power_law_bipartite(100, 80, 450, seed=23)
+        core = alpha_beta_core(g, 3, 3)
+        assert 0.0 <= core.reduction(g) <= 1.0
+
+
+class TestPruneForQuery:
+    @pytest.mark.parametrize("pq", [(2, 2), (3, 2), (2, 3)])
+    def test_count_preserved(self, pq):
+        g = planted_bicliques(18, 18, [(4, 4), (3, 3)], noise_edges=40,
+                              seed=5)
+        q = BicliqueQuery(*pq)
+        pruned = prune_for_query(g, q.p, q.q)
+        assert brute_force_count(pruned.subgraph, q) == \
+            brute_force_count(g, q)
+
+    def test_prunes_the_tail(self):
+        g = power_law_bipartite(150, 100, 600, seed=24)
+        pruned = prune_for_query(g, 3, 3)
+        assert pruned.subgraph.num_edges < g.num_edges
+
+    def test_keep_arrays_map_back(self):
+        g = planted_bicliques(10, 10, [(3, 3)], noise_edges=5, seed=6)
+        pruned = prune_for_query(g, 3, 3)
+        for new_u in range(pruned.subgraph.num_u):
+            old_u = int(pruned.keep_u[new_u])
+            new_nbrs = pruned.keep_v[pruned.subgraph.neighbors(LAYER_U, new_u)]
+            old_nbrs = set(map(int, g.neighbors(LAYER_U, old_u)))
+            assert set(map(int, new_nbrs)) <= old_nbrs

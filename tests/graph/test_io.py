@@ -1,0 +1,68 @@
+"""Tests for edge-list IO (plain and KONECT dialects)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.bipartite import LAYER_U
+from repro.graph.io import dumps, loads, read_edge_list, write_edge_list
+
+
+class TestLoads:
+    def test_plain(self):
+        g = loads("0 0\n0 1\n2 1\n")
+        assert g.num_u == 3 and g.num_v == 2 and g.num_edges == 3
+
+    def test_comments_and_blanks(self):
+        g = loads("# a comment\n\n0 0\n\n# more\n1 1\n")
+        assert g.num_edges == 2
+
+    def test_konect_one_based(self):
+        text = "% bip\n% 3 2 2\n1 1\n1 2\n2 1\n"
+        g = loads(text)
+        assert g.num_u == 2 and g.num_v == 2
+        assert g.neighbors(LAYER_U, 0).tolist() == [0, 1]
+
+    def test_size_line_plain(self):
+        g = loads("# 1 5 7\n0 0\n")
+        assert g.num_u == 5 and g.num_v == 7
+
+    def test_bad_line(self):
+        with pytest.raises(GraphFormatError):
+            loads("0\n")
+
+    def test_non_integer(self):
+        with pytest.raises(GraphFormatError):
+            loads("a b\n")
+
+    def test_negative_id(self):
+        with pytest.raises(GraphFormatError):
+            loads("-1 0\n")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("konect", [False, True])
+    def test_dumps_loads(self, small_random, konect):
+        text = dumps(small_random, konect=konect)
+        g = loads(text)
+        assert g.num_u == small_random.num_u
+        assert g.num_v == small_random.num_v
+        assert np.array_equal(g.u_neighbors, small_random.u_neighbors)
+
+    def test_file_roundtrip(self, tmp_path, paper_graph):
+        path = tmp_path / "g.txt"
+        write_edge_list(paper_graph, path)
+        g = read_edge_list(path)
+        assert np.array_equal(g.u_offsets, paper_graph.u_offsets)
+
+    def test_file_roundtrip_konect(self, tmp_path, paper_graph):
+        path = tmp_path / "g.konect"
+        write_edge_list(paper_graph, path, konect=True)
+        g = read_edge_list(path)
+        assert g.num_edges == paper_graph.num_edges
+        assert np.array_equal(g.u_neighbors, paper_graph.u_neighbors)
+
+    def test_empty_graph_roundtrip(self):
+        from repro.graph.builders import empty_graph
+        g = loads(dumps(empty_graph(2, 3)))
+        assert g.num_u == 2 and g.num_v == 3 and g.num_edges == 0

@@ -1,0 +1,31 @@
+"""Tests for graph statistics (Table II columns)."""
+
+from repro.graph.builders import complete_bipartite, empty_graph
+from repro.graph.stats import TABLE2_HEADER, compute_stats, format_table2_row
+
+
+class TestComputeStats:
+    def test_complete(self):
+        s = compute_stats(complete_bipartite(4, 5))
+        assert s.num_u == 4 and s.num_v == 5 and s.num_edges == 20
+        assert s.mean_degree_u == 5.0
+        assert s.mean_degree_v == 4.0
+        assert s.max_degree_u == 5
+        assert s.degree_skew_u == 1.0
+
+    def test_empty(self):
+        s = compute_stats(empty_graph(3, 3))
+        assert s.num_edges == 0
+        assert s.mean_degree_u == 0.0
+        assert s.degree_skew_u == 0.0
+
+    def test_skew(self, medium_power_law):
+        s = compute_stats(medium_power_law)
+        assert s.degree_skew_v > 1.0
+
+    def test_format_row(self):
+        s = compute_stats(complete_bipartite(2, 3))
+        row = format_table2_row(s)
+        assert "2" in row and "3" in row and "6" in row
+        # aligns under the header
+        assert len(row) == len(TABLE2_HEADER)

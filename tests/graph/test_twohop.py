@@ -1,0 +1,95 @@
+"""Tests for 2-hop neighbourhood computation (N2, N2^k, the index)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.bipartite import LAYER_U, LAYER_V
+from repro.graph.builders import complete_bipartite, from_adjacency
+from repro.graph.twohop import build_two_hop_index, n2k, two_hop_multiset
+
+
+class TestTwoHopMultiset:
+    def test_paper_example(self, paper_graph):
+        """Example 1: u2 & u3 share {v1,v2}; u2 & u4 share {v0,v2,v4};
+        u3 & u4 share {v2,v3}."""
+        verts, counts = two_hop_multiset(paper_graph, LAYER_U, 2)
+        got = dict(zip(verts.tolist(), counts.tolist()))
+        assert got[3] == 2
+        assert got[4] == 3
+
+    def test_excludes_self(self, paper_graph):
+        verts, _ = two_hop_multiset(paper_graph, LAYER_U, 1)
+        assert 1 not in verts.tolist()
+
+    def test_isolated_vertex(self):
+        g = from_adjacency({0: [0], 2: [1]}, num_u=3, num_v=2)
+        verts, counts = two_hop_multiset(g, LAYER_U, 1)
+        assert len(verts) == 0
+
+    def test_sorted_output(self, medium_power_law):
+        verts, _ = two_hop_multiset(medium_power_law, LAYER_U, 0)
+        assert np.all(np.diff(verts) > 0)
+
+    def test_symmetry(self, small_random):
+        """u' in N2(u) with count c iff u in N2(u') with count c."""
+        for u in range(small_random.num_u):
+            verts, counts = two_hop_multiset(small_random, LAYER_U, u)
+            for w, c in zip(verts.tolist(), counts.tolist()):
+                back_v, back_c = two_hop_multiset(small_random, LAYER_U, w)
+                idx = back_v.tolist().index(u)
+                assert back_c[idx] == c
+
+
+class TestN2k:
+    def test_threshold(self, paper_graph):
+        # u2's 2-hop neighbours with >= 2 shared: u1 (shares v0,v1,v2),
+        # u3 (v1,v2), u4 (v0,v2,v4); u0 shares only v4
+        assert n2k(paper_graph, LAYER_U, 2, 2).tolist() == [1, 3, 4]
+        # with >= 3 shared: u1 and u4 only
+        assert n2k(paper_graph, LAYER_U, 2, 3).tolist() == [1, 4]
+
+    def test_k_one_is_all_two_hop(self, small_random):
+        for u in range(5):
+            verts, _ = two_hop_multiset(small_random, LAYER_U, u)
+            assert np.array_equal(n2k(small_random, LAYER_U, u, 1), verts)
+
+    def test_complete_graph(self):
+        g = complete_bipartite(4, 3)
+        for u in range(4):
+            assert n2k(g, LAYER_U, u, 3).tolist() == \
+                [x for x in range(4) if x != u]
+
+    def test_v_layer(self, paper_graph):
+        # v0 and v1 share u1 and u2
+        lst = n2k(paper_graph, LAYER_V, 0, 2)
+        assert 1 in lst.tolist()
+
+
+class TestTwoHopIndex:
+    def test_matches_per_vertex(self, medium_power_law):
+        index = build_two_hop_index(medium_power_law, LAYER_U, 2)
+        for u in range(medium_power_law.num_u):
+            assert np.array_equal(index.of(u),
+                                  n2k(medium_power_law, LAYER_U, u, 2))
+
+    def test_sizes(self, paper_graph):
+        index = build_two_hop_index(paper_graph, LAYER_U, 2)
+        assert index.size(2) == 3
+        assert index.num_vertices == 5
+
+    def test_rank_filter_halves_entries(self, small_random):
+        full = build_two_hop_index(small_random, LAYER_U, 1)
+        rank = np.arange(small_random.num_u, dtype=np.int64)
+        filt = build_two_hop_index(small_random, LAYER_U, 1,
+                                   min_priority_rank=rank)
+        # symmetry: exactly half of the symmetric pairs survive
+        assert filt.total_entries() * 2 == full.total_entries()
+
+    def test_rank_filter_keeps_only_higher_rank(self, small_random):
+        rng = np.random.default_rng(0)
+        rank = rng.permutation(small_random.num_u).astype(np.int64)
+        filt = build_two_hop_index(small_random, LAYER_U, 2,
+                                   min_priority_rank=rank)
+        for u in range(small_random.num_u):
+            for w in filt.of(u):
+                assert rank[int(w)] > rank[u]

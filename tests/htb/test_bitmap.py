@@ -1,0 +1,106 @@
+"""Tests for the truncated-bitmap codec."""
+
+import numpy as np
+import pytest
+
+from repro.htb.bitmap import (
+    and_aligned,
+    cardinality,
+    decode,
+    encode,
+    popcount,
+)
+
+
+def _arr(*xs):
+    return np.asarray(xs, dtype=np.int64)
+
+
+class TestEncode:
+    def test_paper_example6(self):
+        """Example 6: N2^q(u) = {3, 8, 10, 17, 73, 79, 82} hashes into
+        words 0 and 2 with values 132360 and 295424."""
+        idx, val = encode(_arr(3, 8, 10, 17, 73, 79, 82))
+        assert idx.tolist() == [0, 2]
+        assert val.tolist() == [132360, 295424]
+
+    def test_empty(self):
+        idx, val = encode(_arr())
+        assert len(idx) == 0 and len(val) == 0
+
+    def test_single_word(self):
+        idx, val = encode(_arr(0, 31))
+        assert idx.tolist() == [0]
+        assert val.tolist() == [1 | (1 << 31)]
+
+    def test_word_boundary(self):
+        idx, val = encode(_arr(31, 32))
+        assert idx.tolist() == [0, 1]
+        assert val.tolist() == [1 << 31, 1]
+
+    def test_custom_word_bits(self):
+        idx, val = encode(_arr(0, 4, 5), word_bits=4)
+        assert idx.tolist() == [0, 1]
+        assert val.tolist() == [1, 0b11]
+
+
+class TestDecode:
+    def test_roundtrip_example(self):
+        vertices = _arr(3, 8, 10, 17, 73, 79, 82)
+        assert np.array_equal(decode(*encode(vertices)), vertices)
+
+    def test_roundtrip_random(self):
+        rng = np.random.default_rng(0)
+        for _ in range(25):
+            vs = np.unique(rng.integers(0, 10_000, rng.integers(0, 200)))
+            assert np.array_equal(decode(*encode(vs)), vs)
+
+    def test_empty(self):
+        assert len(decode(*encode(_arr()))) == 0
+
+
+class TestPopcount:
+    def test_values(self):
+        assert popcount(np.asarray([0, 1, 3, 255], dtype=np.uint64)).tolist() \
+            == [0, 1, 2, 8]
+
+    def test_cardinality(self):
+        idx, val = encode(_arr(1, 2, 3, 40, 99))
+        assert cardinality(val) == 5
+
+    def test_cardinality_empty(self):
+        assert cardinality(np.empty(0, dtype=np.uint64)) == 0
+
+
+class TestAndAligned:
+    def test_paper_example7(self):
+        """Example 7: CL[l-1] = {3,10,23,102}, N2^q(u) as in Example 6;
+        intersection = {3, 10} via 8389640 & 132360 = 1032."""
+        a_idx, a_val = encode(_arr(3, 10, 23, 102))
+        b_idx, b_val = encode(_arr(3, 8, 10, 17, 73, 79, 82))
+        out_idx, out_val = and_aligned(a_idx, a_val, b_idx, b_val)
+        assert out_idx.tolist() == [0]
+        assert out_val.tolist() == [1032]
+        assert decode(out_idx, out_val).tolist() == [3, 10]
+
+    def test_matches_set_intersection(self):
+        rng = np.random.default_rng(1)
+        for _ in range(40):
+            a = np.unique(rng.integers(0, 2000, rng.integers(0, 150)))
+            b = np.unique(rng.integers(0, 2000, rng.integers(0, 150)))
+            out = decode(*and_aligned(*encode(a), *encode(b)))
+            assert np.array_equal(out, np.intersect1d(a, b))
+
+    def test_empty_sides(self):
+        a = encode(_arr(1, 2))
+        e = encode(_arr())
+        assert len(and_aligned(*a, *e)[0]) == 0
+        assert len(and_aligned(*e, *a)[0]) == 0
+
+    def test_commutative(self):
+        a = encode(_arr(1, 40, 70))
+        b = encode(_arr(40, 70, 200))
+        ab = and_aligned(*a, *b)
+        ba = and_aligned(*b, *a)
+        assert np.array_equal(ab[0], ba[0])
+        assert np.array_equal(ab[1], ba[1])

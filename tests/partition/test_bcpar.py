@@ -1,0 +1,83 @@
+"""Tests for BCPar (Algorithm 3)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError
+from repro.graph.bipartite import LAYER_U
+from repro.graph.generators import power_law_bipartite
+from repro.graph.twohop import build_two_hop_index
+from repro.partition.bcpar import bcpar_partition
+
+
+def _setup(seed=5, nu=80, nv=60, ne=400, q=2):
+    g = power_law_bipartite(nu, nv, ne, seed=seed)
+    index = build_two_hop_index(g, LAYER_U, q)
+    return g, index
+
+
+class TestBCPar:
+    def test_roots_partition_the_layer(self):
+        g, index = _setup()
+        pset = bcpar_partition(g, index, budget_words=2000)
+        roots = sorted(r for p in pset.partitions for r in p.roots)
+        assert roots == list(range(g.num_u))
+
+    def test_autonomy_invariant(self):
+        g, index = _setup()
+        pset = bcpar_partition(g, index, budget_words=2000)
+        pset.validate(index)  # raises if any root's closure leaks
+
+    def test_budget_respected_beyond_first_root(self):
+        """Partitions exceed the budget only when a single root's closure
+        alone does (the unavoidable case)."""
+        g, index = _setup()
+        budget = 600
+        pset = bcpar_partition(g, index, budget_words=budget)
+        weights = pset.weights
+        for part in pset.partitions:
+            if len(part.roots) > 1:
+                assert part.cost_words <= budget
+            else:
+                seed_root = part.roots[0]
+                closure_cost = int(weights[seed_root]) + \
+                    int(weights[index.of(seed_root)].sum())
+                assert part.cost_words == closure_cost
+
+    def test_larger_budget_fewer_partitions(self):
+        g, index = _setup()
+        small = bcpar_partition(g, index, budget_words=500)
+        large = bcpar_partition(g, index, budget_words=5000)
+        assert large.num_partitions <= small.num_partitions
+
+    def test_cost_words_consistent(self):
+        g, index = _setup()
+        pset = bcpar_partition(g, index, budget_words=1500)
+        for part in pset.partitions:
+            expected = int(pset.weights[sorted(part.closure)].sum())
+            assert part.cost_words == expected
+
+    def test_replication_factor_at_least_one(self):
+        g, index = _setup()
+        pset = bcpar_partition(g, index, budget_words=1500)
+        assert pset.replication_factor() >= 1.0
+
+    def test_validate_detects_missing_closure(self):
+        g, index = _setup()
+        pset = bcpar_partition(g, index, budget_words=2000)
+        # sabotage: drop a closure vertex that some root needs
+        for part in pset.partitions:
+            victims = [v for r in part.roots for v in index.of(r)]
+            if victims:
+                part.closure.discard(int(victims[0]))
+                break
+        with pytest.raises(PartitionError):
+            pset.validate(index)
+
+    def test_single_vertex_graph(self):
+        from repro.graph.builders import from_adjacency
+        g = from_adjacency({0: [0, 1]}, num_u=1, num_v=2)
+        index = build_two_hop_index(g, LAYER_U, 1)
+        pset = bcpar_partition(g, index, budget_words=10)
+        assert pset.num_partitions == 1
+        assert pset.partitions[0].roots == [0]

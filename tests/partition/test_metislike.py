@@ -1,0 +1,63 @@
+"""Tests for the METIS-like baseline partitioner."""
+
+import numpy as np
+
+from repro.graph.bipartite import LAYER_U
+from repro.graph.generators import power_law_bipartite
+from repro.graph.twohop import build_two_hop_index
+from repro.partition.metislike import edge_cut, metis_like_partition
+
+
+def _index(seed=7, nu=90, nv=70, ne=450, q=2):
+    g = power_law_bipartite(nu, nv, ne, seed=seed)
+    return build_two_hop_index(g, LAYER_U, q)
+
+
+class TestMetisLike:
+    def test_every_vertex_assigned(self):
+        index = _index()
+        res = metis_like_partition(index, 4)
+        assert np.all(res.assignment >= 0)
+        assert np.all(res.assignment < 4)
+
+    def test_balance(self):
+        index = _index()
+        res = metis_like_partition(index, 4)
+        sizes = [len(p) for p in res.parts()]
+        cap = -(-index.num_vertices // 4)
+        assert max(sizes) <= cap + 1
+
+    def test_cut_reported(self):
+        index = _index()
+        res = metis_like_partition(index, 4)
+        assert res.cut_edges == edge_cut(index, res.assignment)
+
+    def test_single_part_zero_cut(self):
+        index = _index()
+        res = metis_like_partition(index, 1)
+        assert res.cut_edges == 0
+
+    def test_refinement_not_worse(self):
+        index = _index(seed=9)
+        raw = metis_like_partition(index, 4, refine_rounds=0)
+        refined = metis_like_partition(index, 4, refine_rounds=3)
+        assert refined.cut_edges <= raw.cut_edges
+
+    def test_empty_index(self):
+        from repro.graph.builders import empty_graph
+        g = empty_graph(0, 5)
+        index = build_two_hop_index(g, LAYER_U, 1)
+        res = metis_like_partition(index, 3)
+        assert len(res.assignment) == 0
+
+
+class TestEdgeCut:
+    def test_manual(self):
+        from repro.graph.builders import from_adjacency
+        # u0-u1 are 2-hop neighbours (share v0); u2 isolated
+        g = from_adjacency({0: [0], 1: [0], 2: [1]}, num_u=3, num_v=2)
+        index = build_two_hop_index(g, LAYER_U, 1)
+        same = np.array([0, 0, 1])
+        split = np.array([0, 1, 1])
+        assert edge_cut(index, same) == 0
+        assert edge_cut(index, split) == 1

@@ -1,0 +1,79 @@
+"""Property-based tests for scheduling and work stealing."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.balance.makespan import perfect_makespan
+from repro.balance.preruntime import (
+    contiguous_split,
+    interleaved_split,
+    split_loads,
+    weighted_greedy_split,
+)
+from repro.gpu.device import small_test_device
+from repro.gpu.workqueue import simulate_blocks
+
+costs_strategy = st.lists(st.floats(min_value=1.0, max_value=1e5,
+                                    allow_nan=False, allow_infinity=False),
+                          min_size=1, max_size=80)
+
+
+class TestSplitsAreBijections:
+    @given(st.integers(0, 100), st.integers(1, 16))
+    def test_contiguous(self, n, blocks):
+        out = contiguous_split(n, blocks)
+        assert sorted(i for blk in out for i in blk) == list(range(n))
+
+    @given(st.integers(0, 100), st.integers(1, 16))
+    def test_interleaved(self, n, blocks):
+        out = interleaved_split(n, blocks)
+        assert sorted(i for blk in out for i in blk) == list(range(n))
+
+    @given(costs_strategy, st.integers(1, 16))
+    def test_weighted(self, costs, blocks):
+        w = np.asarray(costs)
+        out = weighted_greedy_split(w, blocks)
+        assert sorted(i for blk in out for i in blk) == list(range(len(w)))
+
+
+class TestMakespanBounds:
+    @settings(max_examples=50)
+    @given(costs_strategy, st.integers(1, 8))
+    def test_greedy_at_least_perfect(self, costs, blocks):
+        w = np.asarray(costs)
+        loads = split_loads(weighted_greedy_split(w, blocks), w)
+        assert loads.max() >= perfect_makespan(w, blocks) - 1e-6
+
+    @settings(max_examples=50)
+    @given(costs_strategy, st.integers(1, 8))
+    def test_greedy_never_worse_than_contiguous(self, costs, blocks):
+        w = np.asarray(costs)
+        greedy = split_loads(weighted_greedy_split(w, blocks), w).max()
+        naive = split_loads(contiguous_split(len(w), blocks), w).max()
+        assert greedy <= naive + 1e-6
+
+
+class TestStealingProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(costs_strategy, st.integers(1, 6))
+    def test_all_work_done(self, costs, blocks):
+        """Busy time covers at least the total work regardless of layout."""
+        spec = small_test_device(blocks=blocks)
+        assignment = contiguous_split(len(costs), blocks)
+        lists = [[costs[i] for i in blk] for blk in assignment]
+        res = simulate_blocks(lists, spec, stealing=True)
+        assert float(res.block_busy_cycles.sum()) >= sum(costs) - 1e-6
+
+    @settings(max_examples=40, deadline=None)
+    @given(costs_strategy, st.integers(2, 6))
+    def test_stealing_not_catastrophically_worse(self, costs, blocks):
+        """Stealing's overhead stays bounded relative to no stealing."""
+        spec = small_test_device(blocks=blocks)
+        assignment = contiguous_split(len(costs), blocks)
+        lists = [[costs[i] for i in blk] for blk in assignment]
+        steal = simulate_blocks(lists, spec, stealing=True)
+        plain = simulate_blocks(lists, spec, stealing=False)
+        overhead = (2 * spec.atomic_latency_cycles
+                    + 2.0 * blocks) * max(len(costs), 1)
+        assert steal.makespan_cycles <= plain.makespan_cycles + overhead

@@ -1,0 +1,86 @@
+"""Property-based correctness of the counters against brute force."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bcl import bcl_count
+from repro.core.counts import BicliqueQuery
+from repro.core.gbc import gbc_count
+from repro.core.gbl import gbl_count
+from repro.core.verify import brute_force_count
+from repro.graph.builders import from_edges
+
+
+@st.composite
+def small_graphs(draw):
+    num_u = draw(st.integers(2, 10))
+    num_v = draw(st.integers(2, 10))
+    n_edges = draw(st.integers(0, min(num_u * num_v, 35)))
+    pairs = draw(st.lists(
+        st.tuples(st.integers(0, num_u - 1), st.integers(0, num_v - 1)),
+        min_size=n_edges, max_size=n_edges))
+    return from_edges(num_u, num_v, pairs)
+
+
+@st.composite
+def queries(draw):
+    return BicliqueQuery(draw(st.integers(1, 4)), draw(st.integers(1, 4)))
+
+
+class TestCountingProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(small_graphs(), queries())
+    def test_gbc_matches_brute_force(self, g, q):
+        assert gbc_count(g, q).count == brute_force_count(g, q)
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_graphs(), queries())
+    def test_bcl_matches_brute_force(self, g, q):
+        assert bcl_count(g, q).count == brute_force_count(g, q)
+
+    @settings(max_examples=30, deadline=None)
+    @given(small_graphs(), queries())
+    def test_gbl_matches_brute_force(self, g, q):
+        assert gbl_count(g, q).count == brute_force_count(g, q)
+
+    @settings(max_examples=30, deadline=None)
+    @given(small_graphs(), queries())
+    def test_symmetry_under_layer_swap(self, g, q):
+        """count(G, p, q) == count(G^T, q, p)."""
+        assert brute_force_count(g, q) == \
+            gbc_count(g.swapped(), q.swapped()).count
+
+    @settings(max_examples=30, deadline=None)
+    @given(small_graphs(), queries())
+    def test_monotone_in_p(self, g, q):
+        """Adding a required vertex can never increase the count when the
+        candidate pool is a subset: count(p+1, q) <= count(p, q) * |U|."""
+        base = brute_force_count(g, q)
+        bigger = brute_force_count(g, BicliqueQuery(q=q.q, p=q.p + 1))
+        assert bigger <= base * max(g.num_u, 1)
+
+    @settings(max_examples=30, deadline=None)
+    @given(small_graphs())
+    def test_11_count_is_edge_count(self, g):
+        assert gbc_count(g, BicliqueQuery(1, 1)).count == g.num_edges
+
+    @settings(max_examples=25, deadline=None)
+    @given(small_graphs(), queries())
+    def test_edge_addition_monotonicity(self, g, q):
+        """Adding an edge never decreases the biclique count."""
+        before = brute_force_count(g, q)
+        # add the first missing edge, if any
+        added = None
+        for u in range(g.num_u):
+            row = set(g.neighbors("U", u).tolist())
+            for v in range(g.num_v):
+                if v not in row:
+                    added = (u, v)
+                    break
+            if added:
+                break
+        if added is None:
+            return
+        g2 = from_edges(g.num_u, g.num_v, list(g.edges()) + [added])
+        assert brute_force_count(g2, q) >= before

@@ -1,0 +1,84 @@
+"""Property-based tests for the graph substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.bipartite import LAYER_U, LAYER_V
+from repro.graph.builders import from_edges
+from repro.graph.io import dumps, loads
+from repro.graph.twohop import n2k, two_hop_multiset
+
+
+@st.composite
+def graphs(draw):
+    num_u = draw(st.integers(1, 12))
+    num_v = draw(st.integers(1, 12))
+    pairs = draw(st.lists(
+        st.tuples(st.integers(0, num_u - 1), st.integers(0, num_v - 1)),
+        max_size=50))
+    return from_edges(num_u, num_v, pairs)
+
+
+class TestGraphProperties:
+    @settings(max_examples=80)
+    @given(graphs())
+    def test_validate_never_fails_on_builder_output(self, g):
+        g.validate()
+
+    @settings(max_examples=80)
+    @given(graphs())
+    def test_dual_csr_consistent(self, g):
+        edges_u = {(u, int(v)) for u in range(g.num_u)
+                   for v in g.neighbors(LAYER_U, u)}
+        edges_v = {(int(u), v) for v in range(g.num_v)
+                   for u in g.neighbors(LAYER_V, v)}
+        assert edges_u == edges_v
+
+    @settings(max_examples=60)
+    @given(graphs())
+    def test_io_roundtrip(self, g):
+        back = loads(dumps(g))
+        assert back.num_u == g.num_u and back.num_v == g.num_v
+        assert np.array_equal(back.u_neighbors, g.u_neighbors)
+
+    @settings(max_examples=60)
+    @given(graphs())
+    def test_konect_roundtrip(self, g):
+        back = loads(dumps(g, konect=True))
+        assert np.array_equal(back.u_offsets, g.u_offsets)
+
+    @settings(max_examples=50)
+    @given(graphs())
+    def test_swapped_involution(self, g):
+        gg = g.swapped().swapped()
+        assert np.array_equal(gg.u_neighbors, g.u_neighbors)
+        assert np.array_equal(gg.v_offsets, g.v_offsets)
+
+    @settings(max_examples=40)
+    @given(graphs(), st.integers(1, 4))
+    def test_two_hop_symmetric(self, g, k):
+        for u in range(g.num_u):
+            for w in n2k(g, LAYER_U, u, k):
+                assert u in n2k(g, LAYER_U, int(w), k).tolist()
+
+    @settings(max_examples=40)
+    @given(graphs())
+    def test_two_hop_counts_bounded_by_degree(self, g):
+        for u in range(g.num_u):
+            _, counts = two_hop_multiset(g, LAYER_U, u)
+            if len(counts):
+                assert counts.max() <= g.degree(LAYER_U, u)
+
+    @settings(max_examples=40)
+    @given(graphs(), st.data())
+    def test_relabel_preserves_degree_multiset(self, g, data):
+        pu = np.asarray(data.draw(st.permutations(range(g.num_u))),
+                        dtype=np.int64)
+        pv = np.asarray(data.draw(st.permutations(range(g.num_v))),
+                        dtype=np.int64)
+        gg = g.relabeled(pu, pv)
+        assert sorted(gg.degrees(LAYER_U).tolist()) == \
+            sorted(g.degrees(LAYER_U).tolist())
+        assert sorted(gg.degrees(LAYER_V).tolist()) == \
+            sorted(g.degrees(LAYER_V).tolist())

@@ -1,0 +1,65 @@
+"""Property-based tests for the truncated-bitmap codec and HTB."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu.device import rtx_3090
+from repro.gpu.metrics import KernelMetrics
+from repro.htb.bitmap import and_aligned, cardinality, decode, encode
+from repro.htb.htb import BitmapSet, intersect_device
+
+vertex_sets = st.lists(st.integers(min_value=0, max_value=5000),
+                       max_size=120).map(
+    lambda xs: np.unique(np.asarray(xs, dtype=np.int64)))
+
+
+class TestCodecProperties:
+    @given(vertex_sets)
+    def test_roundtrip(self, vs):
+        assert np.array_equal(decode(*encode(vs)), vs)
+
+    @given(vertex_sets)
+    def test_cardinality_matches(self, vs):
+        _, val = encode(vs)
+        assert cardinality(val) == len(vs)
+
+    @given(vertex_sets)
+    def test_idx_sorted_unique(self, vs):
+        idx, val = encode(vs)
+        assert np.all(np.diff(idx) > 0)
+        assert np.all(np.asarray(val, dtype=np.uint64) != 0)
+
+    @given(vertex_sets, vertex_sets)
+    def test_and_is_intersection(self, a, b):
+        out = decode(*and_aligned(*encode(a), *encode(b)))
+        assert np.array_equal(out, np.intersect1d(a, b))
+
+    @given(vertex_sets, vertex_sets)
+    def test_and_subset_bound(self, a, b):
+        idx, val = and_aligned(*encode(a), *encode(b))
+        assert cardinality(val) <= min(len(a), len(b))
+
+    @given(vertex_sets)
+    def test_self_intersection_is_identity(self, a):
+        idx, val = and_aligned(*encode(a), *encode(a))
+        assert np.array_equal(decode(idx, val), a)
+
+
+class TestDeviceIntersection:
+    @settings(max_examples=40)
+    @given(vertex_sets, vertex_sets)
+    def test_device_matches_exact(self, a, b):
+        m = KernelMetrics()
+        out = intersect_device(BitmapSet(*encode(a)), BitmapSet(*encode(b)),
+                               rtx_3090(), m)
+        assert np.array_equal(out.vertices(), np.intersect1d(a, b))
+
+    @settings(max_examples=40)
+    @given(vertex_sets, vertex_sets)
+    def test_transactions_nonnegative_and_bounded(self, a, b):
+        """Phase-1 transactions can't exceed one per probe step."""
+        m = KernelMetrics()
+        intersect_device(BitmapSet(*encode(a)), BitmapSet(*encode(b)),
+                         rtx_3090(), m)
+        assert m.global_transactions <= m.comparisons + 2

@@ -1,0 +1,81 @@
+"""Property-based tests for reorderings and partitioning."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.counts import BicliqueQuery
+from repro.core.verify import brute_force_count
+from repro.graph.bipartite import LAYER_U
+from repro.graph.builders import from_edges
+from repro.graph.twohop import build_two_hop_index
+from repro.partition.bcpar import bcpar_partition
+from repro.reorder.base import apply_reordering, validate_permutation
+from repro.reorder.border import border_reordering
+from repro.reorder.degree import degree_permutation
+from repro.reorder.gorder import gorder_permutation
+
+
+@st.composite
+def graphs(draw):
+    num_u = draw(st.integers(2, 14))
+    num_v = draw(st.integers(2, 14))
+    pairs = draw(st.lists(
+        st.tuples(st.integers(0, num_u - 1), st.integers(0, num_v - 1)),
+        max_size=60))
+    return from_edges(num_u, num_v, pairs)
+
+
+class TestReorderProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(graphs())
+    def test_border_produces_permutations(self, g):
+        reordering, _ = border_reordering(g, iterations=4)
+        validate_permutation(reordering.perm_u, g.num_u)
+        validate_permutation(reordering.perm_v, g.num_v)
+
+    @settings(max_examples=40, deadline=None)
+    @given(graphs())
+    def test_gorder_produces_permutations(self, g):
+        validate_permutation(gorder_permutation(g, LAYER_U), g.num_u)
+
+    @settings(max_examples=40)
+    @given(graphs())
+    def test_degree_produces_permutations(self, g):
+        validate_permutation(degree_permutation(g, LAYER_U), g.num_u)
+
+    @settings(max_examples=20, deadline=None)
+    @given(graphs())
+    def test_border_count_invariant(self, g):
+        """The load-bearing property: reordering never changes counts."""
+        reordering, _ = border_reordering(g, iterations=4)
+        gg = apply_reordering(g, reordering)
+        q = BicliqueQuery(2, 2)
+        assert brute_force_count(gg, q) == brute_force_count(g, q)
+
+    @settings(max_examples=30, deadline=None)
+    @given(graphs())
+    def test_border_never_increases_one_blocks(self, g):
+        _, stats = border_reordering(g, iterations=8,
+                                     degree_preorder=False)
+        for layer_stats in stats.values():
+            assert layer_stats.one_blocks_after <= \
+                layer_stats.one_blocks_before
+
+
+class TestBCParProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(graphs(), st.integers(50, 2000))
+    def test_partition_always_valid(self, g, budget):
+        index = build_two_hop_index(g, LAYER_U, 2)
+        pset = bcpar_partition(g, index, budget_words=budget)
+        pset.validate(index)
+
+    @settings(max_examples=20, deadline=None)
+    @given(graphs())
+    def test_partitioned_count_exact(self, g):
+        from repro.partition.runner import run_bcpar
+        q = BicliqueQuery(2, 2)
+        report, _ = run_bcpar(g, q, budget_words=300)
+        assert report.total_count == brute_force_count(g, q)
+        assert report.on_demand_transfer_words == 0

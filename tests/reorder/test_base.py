@@ -1,0 +1,61 @@
+"""Tests for reordering plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReorderError
+from repro.graph.bipartite import LAYER_U
+from repro.reorder.base import (
+    Reordering,
+    apply_reordering,
+    compose_permutations,
+    identity_permutation,
+    validate_permutation,
+)
+
+
+class TestValidatePermutation:
+    def test_accepts_identity(self):
+        validate_permutation(identity_permutation(5), 5)
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ReorderError):
+            validate_permutation(np.array([0, 1]), 3)
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ReorderError):
+            validate_permutation(np.array([0, 0, 2]), 3)
+
+
+class TestApplyReordering:
+    def test_identity_is_noop(self, paper_graph):
+        r = Reordering("id", identity_permutation(5), identity_permutation(5))
+        g = apply_reordering(paper_graph, r)
+        assert np.array_equal(g.u_neighbors, paper_graph.u_neighbors)
+
+    def test_name_records_method(self, paper_graph):
+        r = Reordering("mymethod", identity_permutation(5),
+                       identity_permutation(5))
+        assert "mymethod" in apply_reordering(paper_graph, r).name
+
+    def test_degree_sequence_invariant(self, medium_power_law):
+        rng = np.random.default_rng(1)
+        r = Reordering("rand",
+                       rng.permutation(medium_power_law.num_u),
+                       rng.permutation(medium_power_law.num_v))
+        g = apply_reordering(medium_power_law, r)
+        assert sorted(g.degrees(LAYER_U).tolist()) == \
+            sorted(medium_power_law.degrees(LAYER_U).tolist())
+
+
+class TestCompose:
+    def test_compose_order(self):
+        first = np.array([1, 2, 0])   # 0->1, 1->2, 2->0
+        second = np.array([2, 0, 1])  # 0->2, 1->0, 2->1
+        composed = compose_permutations(first, second)
+        # vertex 0: first sends to 1, second sends 1 to 0
+        assert composed.tolist() == [0, 1, 2]
+
+    def test_size_mismatch(self):
+        with pytest.raises(ReorderError):
+            compose_permutations(np.array([0, 1]), np.array([0]))

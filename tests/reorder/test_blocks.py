@@ -1,0 +1,52 @@
+"""Tests for the block census (1-block accounting)."""
+
+import numpy as np
+
+from repro.graph.bipartite import LAYER_U, LAYER_V
+from repro.graph.builders import from_adjacency
+from repro.reorder.blocks import block_census, build_block_counts, htb_word_total
+
+
+class TestBuildBlockCounts:
+    def test_shape(self, medium_power_law):
+        counts = build_block_counts(medium_power_law, LAYER_U)
+        n_blocks = -(-medium_power_law.num_u // 32)
+        assert counts.shape == (medium_power_law.num_v, n_blocks)
+
+    def test_row_sums_are_degrees(self, medium_power_law):
+        counts = build_block_counts(medium_power_law, LAYER_U)
+        assert np.array_equal(counts.sum(axis=1),
+                              medium_power_law.degrees(LAYER_V))
+
+    def test_custom_positions(self):
+        # two V rows over 64 U columns; moving u33 next to u0 merges blocks
+        g = from_adjacency({0: [0], 33: [0]}, num_u=64, num_v=1)
+        default = build_block_counts(g, LAYER_U)
+        assert (default == 1).sum() == 2  # two 1-blocks
+        positions = np.arange(64, dtype=np.int64)
+        positions[33], positions[1] = 1, 33
+        moved = build_block_counts(g, LAYER_U, positions)
+        assert (moved == 2).sum() == 1  # merged into one 2-block
+
+
+class TestBlockCensus:
+    def test_histogram(self):
+        g = from_adjacency({0: [0], 40: [0], 64: [0], 65: [0]},
+                           num_u=96, num_v=1)
+        census = block_census(g, LAYER_U)
+        # columns 0 and 40 are alone; 64,65 share a block
+        assert census.histogram == {1: 2, 2: 1}
+        assert census.one_blocks == 2
+        assert census.nonzero_blocks == 3
+
+    def test_mean_fill(self):
+        g = from_adjacency({0: [0], 1: [0]}, num_u=2, num_v=1)
+        census = block_census(g, LAYER_U)
+        assert census.mean_fill == 2.0
+
+    def test_word_total_matches_htb(self, medium_power_law):
+        """The block census must equal the words an HTB actually builds."""
+        from repro.htb.htb import htb_from_graph
+        total = htb_word_total(medium_power_law, LAYER_V)
+        htb = htb_from_graph(medium_power_law, LAYER_U)  # rows = U adjacency
+        assert total == htb.total_words

@@ -1,0 +1,80 @@
+"""Tests for Border (Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.bipartite import LAYER_U, LAYER_V
+from repro.graph.builders import from_adjacency
+from repro.graph.generators import power_law_bipartite
+from repro.htb.htb import htb_from_graph
+from repro.reorder.base import apply_reordering, validate_permutation
+from repro.reorder.blocks import block_census
+from repro.reorder.border import border_permutation, border_reordering
+
+
+class TestBorderPermutation:
+    def test_is_permutation(self, medium_power_law):
+        perm, _ = border_permutation(medium_power_law, LAYER_U, iterations=8)
+        validate_permutation(perm, medium_power_law.num_u)
+
+    def test_tiny_layer_is_noop_after_preorder(self):
+        """A layer fitting in one 32-bit word cannot be improved."""
+        g = from_adjacency({0: [0], 1: [0, 1]}, num_u=2, num_v=2)
+        perm, stats = border_permutation(g, LAYER_U, iterations=4,
+                                         degree_preorder=False)
+        assert perm.tolist() == [0, 1]
+        assert stats.swaps_applied == 0
+
+    def test_reduces_one_blocks(self):
+        """On a scattered layout Border must not increase 1-blocks, and on
+        power-law data it should strictly reduce them."""
+        g = power_law_bipartite(200, 120, 900, seed=8)
+        _, stats = border_permutation(g, LAYER_V, iterations=64,
+                                      degree_preorder=False)
+        assert stats.one_blocks_after <= stats.one_blocks_before
+        assert stats.swaps_applied > 0
+
+    def test_profit_accounting_matches_census(self):
+        """After running Border, the census under the returned positions
+        equals before-minus-profit in 1-block terms."""
+        g = power_law_bipartite(150, 90, 700, seed=4)
+        perm, stats = border_permutation(g, LAYER_V, iterations=32,
+                                         degree_preorder=False)
+        census = block_census(g, LAYER_V, positions=perm)
+        assert census.one_blocks == stats.one_blocks_after
+
+    def test_word_bits_parameter(self):
+        g = power_law_bipartite(64, 64, 256, seed=6)
+        perm, _ = border_permutation(g, LAYER_U, iterations=4, word_bits=8)
+        validate_permutation(perm, 64)
+
+
+class TestBorderReordering:
+    def test_produces_isomorphic_graph(self, medium_power_law):
+        reordering, _ = border_reordering(medium_power_law, iterations=8)
+        g = apply_reordering(medium_power_law, reordering)
+        g.validate()
+        assert g.num_edges == medium_power_law.num_edges
+
+    def test_count_invariance(self, small_random):
+        """Reordering must never change biclique counts."""
+        from repro.core.counts import BicliqueQuery
+        from repro.core.verify import brute_force_count
+        reordering, _ = border_reordering(small_random, iterations=8)
+        g = apply_reordering(small_random, reordering)
+        q = BicliqueQuery(3, 2)
+        assert brute_force_count(g, q) == brute_force_count(small_random, q)
+
+    def test_compacts_htb(self):
+        """End to end: Border should not grow HTB, and on skewed data it
+        should shrink it (Table III's mechanism)."""
+        g = power_law_bipartite(300, 200, 1500, seed=10)
+        reordering, _ = border_reordering(g, iterations=64)
+        reordered = apply_reordering(g, reordering)
+        before = htb_from_graph(g, LAYER_U).total_words
+        after = htb_from_graph(reordered, LAYER_U).total_words
+        assert after <= before
+
+    def test_stats_per_layer(self, medium_power_law):
+        _, stats = border_reordering(medium_power_law, iterations=4)
+        assert set(stats) == {LAYER_U, LAYER_V}

@@ -1,0 +1,43 @@
+"""Tests for degree-based reordering."""
+
+import numpy as np
+
+from repro.graph.bipartite import LAYER_U, LAYER_V
+from repro.reorder.base import validate_permutation
+from repro.reorder.degree import degree_permutation, degree_reordering
+
+
+class TestDegreePermutation:
+    def test_is_permutation(self, medium_power_law):
+        perm = degree_permutation(medium_power_law, LAYER_U)
+        validate_permutation(perm, medium_power_law.num_u)
+
+    def test_descending(self, medium_power_law):
+        perm = degree_permutation(medium_power_law, LAYER_U)
+        deg = medium_power_law.degrees(LAYER_U)
+        new_deg = np.empty_like(deg)
+        new_deg[perm] = deg
+        assert np.all(np.diff(new_deg) <= 0)
+
+    def test_ascending(self, medium_power_law):
+        perm = degree_permutation(medium_power_law, LAYER_U, descending=False)
+        deg = medium_power_law.degrees(LAYER_U)
+        new_deg = np.empty_like(deg)
+        new_deg[perm] = deg
+        assert np.all(np.diff(new_deg) >= 0)
+
+    def test_tie_break_by_id(self, k45):
+        perm = degree_permutation(k45, LAYER_U)
+        assert perm.tolist() == [0, 1, 2, 3]
+
+
+class TestDegreeReordering:
+    def test_both_layers(self, medium_power_law):
+        r = degree_reordering(medium_power_law)
+        validate_permutation(r.perm_u, medium_power_law.num_u)
+        validate_permutation(r.perm_v, medium_power_law.num_v)
+
+    def test_single_layer(self, medium_power_law):
+        r = degree_reordering(medium_power_law, layers=(LAYER_U,))
+        assert np.array_equal(r.perm_v,
+                              np.arange(medium_power_law.num_v))

@@ -1,0 +1,70 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graph.generators import random_bipartite
+from repro.graph.io import write_edge_list
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_count_args(self):
+        args = build_parser().parse_args(
+            ["count", "--dataset", "YT", "-p", "3", "-q", "2"])
+        assert args.command == "count"
+        assert args.p == 3 and args.q == 2
+        assert args.scale == "tiny"
+
+    def test_graph_and_dataset_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["count", "--graph", "x", "--dataset", "YT",
+                 "-p", "1", "-q", "1"])
+
+
+class TestCommands:
+    def test_count_dataset(self, capsys):
+        assert main(["count", "--dataset", "YT", "--scale", "tiny",
+                     "-p", "2", "-q", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "bicliques:" in out
+        assert "memory transactions" in out
+
+    def test_count_cpu_method(self, capsys):
+        assert main(["count", "--dataset", "S1", "--scale", "tiny",
+                     "-p", "2", "-q", "2", "--method", "BCL"]) == 0
+        out = capsys.readouterr().out
+        assert "(wall)" in out
+
+    def test_count_from_file(self, tmp_path, capsys):
+        g = random_bipartite(10, 10, 40, seed=0)
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path)
+        assert main(["count", "--graph", str(path),
+                     "-p", "1", "-q", "1"]) == 0
+        assert f"bicliques: {g.num_edges}" in capsys.readouterr().out
+
+    def test_enumerate(self, capsys):
+        assert main(["enumerate", "--dataset", "S1", "--scale", "tiny",
+                     "-p", "2", "-q", "2", "--limit", "3"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("L=") <= 3
+
+    def test_estimate(self, capsys):
+        assert main(["estimate", "--dataset", "YT", "--scale", "tiny",
+                     "-p", "2", "-q", "2", "--samples", "8"]) == 0
+        assert "estimate:" in capsys.readouterr().out
+
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for key in ("YT", "OR", "S2"):
+            assert key in out
+
+    def test_experiment(self, capsys):
+        assert main(["experiment", "table2", "--scale", "tiny"]) == 0
+        assert "Table II" in capsys.readouterr().out

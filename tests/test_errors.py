@@ -1,0 +1,33 @@
+"""Tests for the exception hierarchy contract."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc", [
+        errors.GraphFormatError,
+        errors.GraphValidationError,
+        errors.QueryError,
+        errors.DeviceError,
+        errors.SharedMemoryExceeded,
+        errors.DeviceMemoryExceeded,
+        errors.PartitionError,
+        errors.ReorderError,
+    ])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_memory_errors_are_device_errors(self):
+        assert issubclass(errors.SharedMemoryExceeded, errors.DeviceError)
+        assert issubclass(errors.DeviceMemoryExceeded, errors.DeviceError)
+
+    def test_single_catch_at_api_boundary(self):
+        """Library misuse is catchable with one except clause."""
+        from repro.core.counts import BicliqueQuery
+        with pytest.raises(errors.ReproError):
+            BicliqueQuery(0, 3)
+        from repro.graph.builders import from_edges
+        with pytest.raises(errors.ReproError):
+            from_edges(1, 1, [(5, 5)])
