@@ -17,6 +17,21 @@ import pytest
 ARTIFACT_DIR = Path(__file__).parent / "artifacts"
 
 
+def pytest_collection_modifyitems(items):
+    """Every benchmark regenerates a full paper artifact — minutes, not
+    seconds — so the whole directory carries the ``slow`` marker and is
+    excluded from the default (tier-1) run.  Run ``pytest -m ""`` for the
+    full suite.
+
+    The hook fires for the whole session's items, so restrict the marker
+    to tests that actually live under ``benchmarks/``.
+    """
+    here = Path(__file__).parent
+    for item in items:
+        if here in Path(str(item.fspath)).parents:
+            item.add_marker(pytest.mark.slow)
+
+
 @pytest.fixture(scope="session")
 def bench_scale() -> str:
     return os.environ.get("REPRO_BENCH_SCALE", "bench")

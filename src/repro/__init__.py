@@ -8,8 +8,17 @@ Public API quickstart::
     result = gbc_count(g, BicliqueQuery(3, 4))
     print(result.count, result.device_seconds)
 
+Every counting entry point accepts ``backend=`` to pick the execution
+engine: ``"sim"`` (default) runs the fully instrumented simulated device,
+``"fast"`` runs pure vectorised NumPy with the instrumentation compiled
+out — identical counts, several times faster on large graphs::
+
+    fast = gbc_count(g, BicliqueQuery(3, 4), backend="fast")
+
 Packages:
 
+* :mod:`repro.engine` — the kernel-backend layer (pluggable execution
+  engines behind every intersection).
 * :mod:`repro.graph` — bipartite CSR graphs, IO, generators, 2-hop index.
 * :mod:`repro.gpu` — the simulated SIMT device (warps, transactions,
   cost model) standing in for the paper's RTX 3090.
@@ -35,6 +44,14 @@ from repro.core import (
     gbc_variant,
     gbl_count,
     run_pipeline,
+)
+from repro.engine import (
+    BACKEND_NAMES,
+    FastBackend,
+    KernelBackend,
+    SimulatedDeviceBackend,
+    get_backend,
+    resolve_backend,
 )
 from repro.graph import (
     BipartiteGraph,
@@ -62,4 +79,6 @@ __all__ = [
     "random_bipartite", "power_law_bipartite", "paper_synthetic",
     "planted_bicliques", "star_bipartite", "read_edge_list", "write_edge_list",
     "DeviceSpec", "rtx_3090", "small_test_device",
+    "KernelBackend", "SimulatedDeviceBackend", "FastBackend",
+    "BACKEND_NAMES", "get_backend", "resolve_backend",
 ]

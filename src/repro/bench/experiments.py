@@ -91,7 +91,8 @@ def experiment_fig1b(datasets=("S2", "YT", "GH", "SO", "YL", "ID"),
     labels, comp_s, comp_h, other = [], [], [], []
     for name in datasets:
         graph = load_dataset(name, scale)
-        result = bcl_count(graph, query)
+        # breakdown plotting needs the instrumented engine
+        result = bcl_count(graph, query, backend="sim")
         total = max(result.wall_seconds, 1e-12)
         labels.append(name)
         comp_s.append(result.breakdown["comp_s_seconds"] / total)
@@ -138,12 +139,18 @@ def experiment_fig7(datasets=("YT", "BC", "GH", "YL", "S2"),
                     queries=None,
                     methods=("BCL", "BCLP", "GBL", "GBC"),
                     scale: str = "bench",
-                    spec: DeviceSpec | None = None) -> ExperimentResult:
-    """Runtime of every method across datasets and (p, q) mixes."""
+                    spec: DeviceSpec | None = None,
+                    backend: str = "sim") -> ExperimentResult:
+    """Runtime of every method across datasets and (p, q) mixes.
+
+    ``backend="sim"`` (default) compares simulated device seconds as the
+    paper does; ``"fast"`` turns this into a host wall-clock sweep.
+    """
     queries = list(queries) if queries is not None else FIG7_QUERIES
     spec = spec or scaled_device()
     graphs = _load_all(datasets, scale)
-    runs = run_matrix(graphs, queries, list(methods), spec=spec)
+    runs = run_matrix(graphs, queries, list(methods), spec=spec,
+                      backend=backend)
     by_cell: dict[tuple[str, str], dict[str, MethodRun]] = {}
     for run in runs:
         by_cell.setdefault((run.dataset, str(run.query)), {})[run.method] = run
@@ -182,13 +189,15 @@ def experiment_fig8(datasets=("YT", "BC", "GH", "SO", "S2"),
                     totals=None,
                     methods=("BCL", "BCLP", "GBL", "GBC"),
                     scale: str = "bench",
-                    spec: DeviceSpec | None = None) -> ExperimentResult:
+                    spec: DeviceSpec | None = None,
+                    backend: str = "sim") -> ExperimentResult:
     """Runtime as p = q = (p+q)/2 grows."""
     totals = list(totals) if totals is not None else FIG8_TOTALS
     queries = [BicliqueQuery(t // 2, t // 2) for t in totals]
     spec = spec or scaled_device()
     graphs = _load_all(datasets, scale)
-    runs = run_matrix(graphs, queries, list(methods), spec=spec)
+    runs = run_matrix(graphs, queries, list(methods), spec=spec,
+                      backend=backend)
     by_cell: dict[tuple[str, str], dict[str, MethodRun]] = {}
     for run in runs:
         by_cell.setdefault((run.dataset, str(run.query)), {})[run.method] = run
@@ -225,10 +234,12 @@ def experiment_fig9(datasets=("YT", "BC", "GH", "YL", "S1"),
     for dataset in datasets:
         graph = load_dataset(dataset, scale)
         for query in queries:
-            full = gbc_count(graph, query, spec=spec)
+            # ablation ratios are transaction-driven: force the simulated
+            # backend regardless of any session-wide default
+            full = gbc_count(graph, query, spec=spec, backend="sim")
             for v in variants:
                 crippled = gbc_count(graph, query, spec=spec,
-                                     options=gbc_variant(v))
+                                     options=gbc_variant(v), backend="sim")
                 if crippled.count != full.count:
                     raise AssertionError(
                         f"variant {v} miscounts on {dataset} {query}")
@@ -265,7 +276,8 @@ def experiment_table3(datasets=("YT", "BC", "GH", "SO", "YL", "ID", "S1", "S2"),
         counts = set()
         for method in ("none", "gorder", "border"):
             pipe = run_pipeline(graph, query, reorder=method, spec=spec,
-                                border_iterations=border_iterations)
+                                border_iterations=border_iterations,
+                                backend="sim")
             cells[method] = pipe
             counts.add(pipe.result.count)
         if len(counts) != 1:
@@ -303,7 +315,7 @@ def experiment_table4(datasets=("SO", "S2", "BC", "LF", "FR"),
     data = {}
     for dataset in datasets:
         graph = load_dataset(dataset, scale)
-        base = gbc_count(graph, query, spec=spec)
+        base = gbc_count(graph, query, spec=spec, backend="sim")
         cell = {}
         for strategy in strategies:
             sched = evaluate_strategy(strategy,
@@ -389,7 +401,8 @@ def experiment_table5(datasets=("YT", "BC", "GH", "SO", "YL", "ID", "S1", "S2"),
     for dataset in datasets:
         graph = load_dataset(dataset, scale)
         pipe = run_pipeline(graph, query, reorder="border", spec=spec,
-                            border_iterations=border_iterations)
+                            border_iterations=border_iterations,
+                            backend="sim")
         comp = {
             "htb_transform": pipe.htb_transform_seconds,
             "reorder": pipe.reorder_seconds,
@@ -420,9 +433,9 @@ def experiment_fig11(datasets=("YT", "BC", "GH", "SO", "YL"),
     data = {}
     for dataset in datasets:
         graph = load_dataset(dataset, scale)
-        hybrid = gbc_count(graph, query, spec=spec)
+        hybrid = gbc_count(graph, query, spec=spec, backend="sim")
         dfs = gbc_count(graph, query, spec=spec,
-                        options=GBCOptions(hybrid=False))
+                        options=GBCOptions(hybrid=False), backend="sim")
         if hybrid.count != dfs.count:
             raise AssertionError(f"hybrid changed the count on {dataset}")
         mem_ratio = (hybrid.peak_working_set_bytes

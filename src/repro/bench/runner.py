@@ -5,6 +5,11 @@ extract its *headline time* (wall seconds for CPU methods, simulated
 device seconds for GPU-model methods — the same convention the paper's
 figures use when plotting CPU and GPU bars side by side), and tabulate
 speedups.
+
+Backend selection rides along: experiments that plot transactions or
+simulated device time must force ``backend="sim"`` (the default), while
+pure wall-clock or correctness sweeps can pass ``backend="fast"`` to skip
+the instrumentation tax entirely.
 """
 
 from __future__ import annotations
@@ -18,6 +23,7 @@ from repro.core.bclp import bclp_count
 from repro.core.counts import BicliqueQuery, CountResult, DeviceRunResult
 from repro.core.gbc import GBCOptions, gbc_count, gbc_variant
 from repro.core.gbl import gbl_count
+from repro.engine.base import KernelBackend
 from repro.gpu.device import DeviceSpec, rtx_3090
 from repro.graph.bipartite import BipartiteGraph
 
@@ -51,31 +57,35 @@ def headline_seconds(result: CountResult) -> float:
     """The figure-comparable runtime of a result.
 
     Device-model algorithms report simulated device time; CPU algorithms
-    report (modelled, for BCLP) wall time.
+    report (modelled, for BCLP) wall time.  A device run executed on an
+    uninstrumented backend has no simulated time, so its host wall time
+    is the only meaningful number.
     """
-    if isinstance(result, DeviceRunResult):
+    if isinstance(result, DeviceRunResult) and result.backend_instrumented:
         return result.device_seconds
     return result.wall_seconds
 
 
 def run_method(method: str, graph: BipartiteGraph, query: BicliqueQuery,
                spec: DeviceSpec | None = None,
-               threads: int = 16) -> CountResult:
+               threads: int = 16,
+               backend: KernelBackend | str | None = None) -> CountResult:
     """Dispatch one of the paper's methods by name."""
     spec = spec or rtx_3090()
     if method == "Basic":
-        return basic_count(graph, query)
+        return basic_count(graph, query, backend=backend)
     if method == "BCL":
-        return bcl_count(graph, query)
+        return bcl_count(graph, query, backend=backend)
     if method == "BCLP":
-        return bclp_count(graph, query, threads=threads)
+        return bclp_count(graph, query, threads=threads, backend=backend)
     if method == "GBL":
-        return gbl_count(graph, query, spec=spec)
+        return gbl_count(graph, query, spec=spec, backend=backend)
     if method == "GBC":
-        return gbc_count(graph, query, spec=spec)
+        return gbc_count(graph, query, spec=spec, backend=backend)
     if method.startswith("GBC-"):
         return gbc_count(graph, query, spec=spec,
-                         options=gbc_variant(method.split("-", 1)[1]))
+                         options=gbc_variant(method.split("-", 1)[1]),
+                         backend=backend)
     raise ValueError(f"unknown method {method!r}; expected one of {METHODS}")
 
 
@@ -83,7 +93,8 @@ def run_matrix(graphs: dict[str, BipartiteGraph],
                queries: list[BicliqueQuery],
                methods: list[str],
                spec: DeviceSpec | None = None,
-               check_agreement: bool = True) -> list[MethodRun]:
+               check_agreement: bool = True,
+               backend: KernelBackend | str | None = None) -> list[MethodRun]:
     """Run every (dataset, query, method) cell; optionally cross-check
     that all methods agree on the count (they must — all are exact)."""
     spec = spec or rtx_3090()
@@ -93,7 +104,8 @@ def run_matrix(graphs: dict[str, BipartiteGraph],
             counts: set[int] = set()
             for method in methods:
                 t0 = time.perf_counter()
-                result = run_method(method, graph, query, spec=spec)
+                result = run_method(method, graph, query, spec=spec,
+                                    backend=backend)
                 elapsed = time.perf_counter() - t0
                 runs.append(MethodRun(method=method, dataset=name,
                                       query=query, result=result,

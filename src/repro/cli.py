@@ -4,6 +4,7 @@ Examples::
 
     python -m repro count --dataset YT --scale tiny -p 3 -q 3
     python -m repro count --graph my_edges.txt -p 2 -q 2 --method BCL
+    python -m repro count --dataset YT --scale bench -p 3 -q 3 --backend fast
     python -m repro enumerate --dataset S1 --scale tiny -p 3 -q 2 --limit 5
     python -m repro estimate --dataset YT --scale bench -p 4 -q 4 --samples 32
     python -m repro datasets
@@ -21,6 +22,7 @@ from repro.bench.runner import METHODS, headline_seconds, run_method
 from repro.bench.tables import format_seconds, render_table
 from repro.core.counts import BicliqueQuery, DeviceRunResult
 from repro.core.enumerate import enumerate_bicliques
+from repro.engine import BACKEND_NAMES
 from repro.core.estimate import estimate_count
 from repro.graph.io import read_edge_list
 from repro.graph.stats import compute_stats
@@ -62,12 +64,19 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("-p", type=int, required=True)
     c.add_argument("-q", type=int, required=True)
     c.add_argument("--method", default="GBC", choices=list(METHODS))
+    c.add_argument("--backend", default="sim", choices=list(BACKEND_NAMES),
+                   help="kernel execution engine: 'sim' reports simulated "
+                        "device metrics, 'fast' skips instrumentation "
+                        "(default sim)")
 
     e = sub.add_parser("enumerate", help="list (p,q)-bicliques")
     add_graph_args(e)
     e.add_argument("-p", type=int, required=True)
     e.add_argument("-q", type=int, required=True)
     e.add_argument("--limit", type=int, default=20)
+    e.add_argument("--backend", default="fast", choices=list(BACKEND_NAMES),
+                   help="kernel execution engine (enumeration needs no "
+                        "metrics, so the default is fast)")
 
     s = sub.add_parser("estimate", help="sampled approximate count")
     add_graph_args(s)
@@ -95,14 +104,16 @@ def _load(args) -> object:
 def _cmd_count(args) -> int:
     graph = _load(args)
     query = BicliqueQuery(args.p, args.q)
-    result = run_method(args.method, graph, query)
+    result = run_method(args.method, graph, query, backend=args.backend)
+    simulated = isinstance(result, DeviceRunResult) \
+        and result.backend_instrumented
     print(f"graph: {graph}")
     print(f"({args.p},{args.q})-bicliques: {result.count}")
     print(f"method: {result.algorithm}, anchored layer: "
-          f"{result.anchored_layer}")
+          f"{result.anchored_layer}, backend: {result.backend}")
     print(f"time: {format_seconds(headline_seconds(result))} "
-          f"({'simulated device' if isinstance(result, DeviceRunResult) else 'wall'})")
-    if isinstance(result, DeviceRunResult):
+          f"({'simulated device' if simulated else 'wall'})")
+    if simulated:
         print(f"memory transactions: {result.metrics.global_transactions}; "
               f"utilisation: {result.metrics.utilization * 100:.1f}%; "
               f"steals: {result.steals}")
@@ -113,7 +124,8 @@ def _cmd_enumerate(args) -> int:
     graph = _load(args)
     query = BicliqueQuery(args.p, args.q)
     shown = 0
-    for left, right in enumerate_bicliques(graph, query, limit=args.limit):
+    for left, right in enumerate_bicliques(graph, query, limit=args.limit,
+                                           backend=args.backend):
         print(f"L={list(left)} R={list(right)}")
         shown += 1
     if shown == 0:

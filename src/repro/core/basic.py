@@ -17,15 +17,17 @@ from math import comb
 import numpy as np
 
 from repro.core.counts import BicliqueQuery, CountResult
-from repro.gpu.intersect import merge_intersect
+from repro.engine.base import KernelBackend, resolve_backend
 from repro.graph.bipartite import BipartiteGraph, LAYER_U
 from repro.graph.twohop import build_two_hop_index
 
 __all__ = ["basic_count"]
 
 
-def basic_count(graph: BipartiteGraph, query: BicliqueQuery) -> CountResult:
+def basic_count(graph: BipartiteGraph, query: BicliqueQuery,
+                backend: KernelBackend | str | None = None) -> CountResult:
     """Count (p, q)-bicliques with the Basic model (anchor fixed on U)."""
+    engine = resolve_backend(backend)
     start = time.perf_counter()
     p, q = query.p, query.q
     ids = np.arange(graph.num_u, dtype=np.int64)
@@ -36,13 +38,13 @@ def basic_count(graph: BipartiteGraph, query: BicliqueQuery) -> CountResult:
         nonlocal total
         for u in cl:
             u = int(u)
-            new_cr = merge_intersect(cr, graph.neighbors(LAYER_U, u))
+            new_cr = engine.merge(cr, graph.neighbors(LAYER_U, u))
             if len(new_cr) < q:
                 continue
             if depth + 1 == p:
                 total += comb(len(new_cr), q)
                 continue
-            new_cl = merge_intersect(cl, index.of(u))
+            new_cl = engine.merge(cl, index.of(u))
             if len(new_cl) < p - depth - 1:
                 continue
             rec(depth + 1, new_cl, new_cr)
@@ -65,4 +67,6 @@ def basic_count(graph: BipartiteGraph, query: BicliqueQuery) -> CountResult:
         count=total,
         wall_seconds=time.perf_counter() - start,
         anchored_layer=LAYER_U,
+        backend=engine.name,
+        backend_instrumented=engine.instrumented,
     )

@@ -8,10 +8,12 @@ C(|CR|, q) bicliques.  Duplicate suppression uses the vertex priority of
 Definition 2: the 2-hop index only stores lower-priority (higher-rank)
 neighbours, so each L is generated exactly once in priority order.
 
-The implementation is instrumented for the Fig. 1(b) breakdown: wall time
-and comparison counts are split into the 2-hop candidate intersections
-(``comp_s``: CL updates + N2^q construction) and the 1-hop intersections
-(``comp_h``: CR updates), with everything else under ``other``.
+The Fig. 1(b) breakdown (wall time and comparison counts split into the
+2-hop candidate intersections — ``comp_s``: CL updates + N2^q
+construction — and the 1-hop intersections — ``comp_h``: CR updates, with
+everything else under ``other``) is *opt-in*: it runs by default on the
+instrumented simulated backend, and is compiled out entirely when the
+caller only wants a count (``backend="fast"`` or ``instrument=False``).
 """
 
 from __future__ import annotations
@@ -23,9 +25,9 @@ from math import comb
 import numpy as np
 
 from repro.core.counts import BicliqueQuery, CountResult, anchored_view
-from repro.gpu.intersect import merge_intersect
+from repro.engine.base import KernelBackend, resolve_backend
 from repro.graph.bipartite import BipartiteGraph, LAYER_U
-from repro.graph.priority import priority_order, priority_rank
+from repro.graph.priority import priority_order, rank_from_order
 from repro.graph.twohop import TwoHopIndex, build_two_hop_index
 
 __all__ = ["bcl_count", "bcl_per_root_profile", "BCLProfile"]
@@ -58,7 +60,8 @@ class BCLProfile:
 
 def _enumerate_root(graph: BipartiteGraph, index: TwoHopIndex,
                     root: int, p: int, q: int,
-                    profile: BCLProfile) -> int:
+                    profile: BCLProfile, engine: KernelBackend,
+                    instrument: bool) -> int:
     """Count all bicliques whose highest-priority U-vertex is ``root``."""
     cr0 = graph.neighbors(LAYER_U, root)
     if len(cr0) < q:
@@ -75,21 +78,28 @@ def _enumerate_root(graph: BipartiteGraph, index: TwoHopIndex,
         nonlocal total
         for u in cl:
             u = int(u)
-            t0 = time.perf_counter()
-            cmp_cell[0] = 0
-            new_cr = merge_intersect(cr, graph.neighbors(LAYER_U, u), cmp_cell)
-            profile.seconds_one_hop += time.perf_counter() - t0
-            profile.comparisons_one_hop += cmp_cell[0]
+            if instrument:
+                t0 = time.perf_counter()
+                cmp_cell[0] = 0
+                new_cr = engine.merge(cr, graph.neighbors(LAYER_U, u),
+                                      cmp_cell)
+                profile.seconds_one_hop += time.perf_counter() - t0
+                profile.comparisons_one_hop += cmp_cell[0]
+            else:
+                new_cr = engine.merge(cr, graph.neighbors(LAYER_U, u))
             if len(new_cr) < q:
                 continue
             if depth + 1 == p:
                 total += comb(len(new_cr), q)
                 continue
-            t0 = time.perf_counter()
-            cmp_cell[0] = 0
-            new_cl = merge_intersect(cl, index.of(u), cmp_cell)
-            profile.seconds_two_hop += time.perf_counter() - t0
-            profile.comparisons_two_hop += cmp_cell[0]
+            if instrument:
+                t0 = time.perf_counter()
+                cmp_cell[0] = 0
+                new_cl = engine.merge(cl, index.of(u), cmp_cell)
+                profile.seconds_two_hop += time.perf_counter() - t0
+                profile.comparisons_two_hop += cmp_cell[0]
+            else:
+                new_cl = engine.merge(cl, index.of(u))
             if len(new_cl) < p - depth - 1:
                 continue
             rec(depth + 1, new_cl, new_cr)
@@ -104,16 +114,27 @@ def _prepare(graph: BipartiteGraph, query: BicliqueQuery,
     2-hop search work, which is what it is)."""
     g, p, q, anchored = anchored_view(graph, query, layer)
     t0 = time.perf_counter()
-    rank = priority_rank(g, LAYER_U, q)
     order = priority_order(g, LAYER_U, q)
+    rank = rank_from_order(order)
     index = build_two_hop_index(g, LAYER_U, q, min_priority_rank=rank)
     profile.seconds_two_hop += time.perf_counter() - t0
     return g, p, q, anchored, order, index
 
 
 def bcl_count(graph: BipartiteGraph, query: BicliqueQuery,
-              layer: str | None = None) -> CountResult:
-    """Run BCL and return the exact count with the Fig. 1(b) breakdown."""
+              layer: str | None = None,
+              backend: KernelBackend | str | None = None,
+              instrument: bool | None = None) -> CountResult:
+    """Run BCL and return the exact count.
+
+    ``instrument`` controls the per-call Fig. 1(b) timers and comparison
+    cells; it defaults to the backend's ``instrumented`` flag (on for the
+    simulated engine, off for the fast one), so an uninstrumented run
+    reports an empty breakdown but an identical count.
+    """
+    engine = resolve_backend(backend)
+    if instrument is None:
+        instrument = engine.instrumented
     profile = BCLProfile()
     start = time.perf_counter()
     g, p, q, anchored, order, index = _prepare(graph, query, layer, profile)
@@ -123,34 +144,49 @@ def bcl_count(graph: BipartiteGraph, query: BicliqueQuery,
         if index.size(root) < p - 1 and p > 1:
             continue  # unpromising root (§III-B filter)
         r0 = time.perf_counter()
-        got = _enumerate_root(g, index, root, p, q, profile)
+        got = _enumerate_root(g, index, root, p, q, profile, engine,
+                              instrument)
         profile.per_root_seconds.append(time.perf_counter() - r0)
         profile.per_root_counts.append(got)
         profile.root_ids.append(root)
         total += got
     profile.seconds_total = time.perf_counter() - start
+    breakdown = {
+        "comp_s_seconds": profile.seconds_two_hop,
+        "comp_h_seconds": profile.seconds_one_hop,
+        "other_seconds": profile.seconds_other,
+        "intersection_fraction": profile.fraction_intersections(),
+    } if instrument else {}
+    extras = {
+        "comparisons_two_hop": float(profile.comparisons_two_hop),
+        "comparisons_one_hop": float(profile.comparisons_one_hop),
+    } if instrument else {}
     return CountResult(
         algorithm="BCL",
         query=query,
         count=total,
         wall_seconds=profile.seconds_total,
         anchored_layer=anchored,
-        breakdown={
-            "comp_s_seconds": profile.seconds_two_hop,
-            "comp_h_seconds": profile.seconds_one_hop,
-            "other_seconds": profile.seconds_other,
-            "intersection_fraction": profile.fraction_intersections(),
-        },
-        extras={
-            "comparisons_two_hop": float(profile.comparisons_two_hop),
-            "comparisons_one_hop": float(profile.comparisons_one_hop),
-        },
+        breakdown=breakdown,
+        extras=extras,
+        backend=engine.name,
+        backend_instrumented=engine.instrumented,
     )
 
 
 def bcl_per_root_profile(graph: BipartiteGraph, query: BicliqueQuery,
-                         layer: str | None = None) -> BCLProfile:
-    """Run BCL and return the full per-root profile (BCLP's input)."""
+                         layer: str | None = None,
+                         backend: KernelBackend | str | None = None,
+                         instrument: bool | None = None) -> BCLProfile:
+    """Run BCL and return the full per-root profile (BCLP's input).
+
+    Per-root wall times are always collected (they are the profile's
+    purpose); the per-call breakdown follows ``instrument`` as in
+    :func:`bcl_count`.
+    """
+    engine = resolve_backend(backend)
+    if instrument is None:
+        instrument = engine.instrumented
     profile = BCLProfile()
     start = time.perf_counter()
     g, p, q, _, order, index = _prepare(graph, query, layer, profile)
@@ -159,7 +195,8 @@ def bcl_per_root_profile(graph: BipartiteGraph, query: BicliqueQuery,
         if index.size(root) < p - 1 and p > 1:
             continue
         r0 = time.perf_counter()
-        got = _enumerate_root(g, index, root, p, q, profile)
+        got = _enumerate_root(g, index, root, p, q, profile, engine,
+                              instrument)
         profile.per_root_seconds.append(time.perf_counter() - r0)
         profile.per_root_counts.append(got)
         profile.root_ids.append(root)

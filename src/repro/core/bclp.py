@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.core.bcl import bcl_per_root_profile
 from repro.core.counts import BicliqueQuery, CountResult
+from repro.engine.base import KernelBackend, resolve_backend
 
 __all__ = ["bclp_count", "schedule_makespan"]
 
@@ -44,10 +45,12 @@ def schedule_makespan(costs: list[float], threads: int) -> float:
 
 def bclp_count(graph, query: BicliqueQuery,
                threads: int = DEFAULT_THREADS,
-               layer: str | None = None) -> CountResult:
+               layer: str | None = None,
+               backend: KernelBackend | str | None = None) -> CountResult:
     """BCLP: BCL's per-root work list-scheduled over ``threads`` threads."""
+    engine = resolve_backend(backend)
     start = time.perf_counter()
-    profile = bcl_per_root_profile(graph, query, layer)
+    profile = bcl_per_root_profile(graph, query, layer, backend=engine)
     sequential = sum(profile.per_root_seconds)
     preprocessing = max(profile.seconds_total - sequential, 0.0)
     makespan = schedule_makespan(profile.per_root_seconds, threads)
@@ -67,4 +70,6 @@ def bclp_count(graph, query: BicliqueQuery,
             "speedup_vs_sequential": (sequential / makespan) if makespan else 1.0,
         },
         extras={"measurement_wall_seconds": wall},
+        backend=engine.name,
+        backend_instrumented=engine.instrumented,
     )

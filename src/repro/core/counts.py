@@ -49,6 +49,11 @@ class CountResult:
     anchored_layer: str = LAYER_U
     breakdown: dict[str, float] = field(default_factory=dict)
     extras: dict[str, float] = field(default_factory=dict)
+    #: registry name of the kernel backend that executed the run
+    backend: str = "sim"
+    #: whether that backend collected live device metrics/timers —
+    #: False means any simulated-time or metrics fields are all zero
+    backend_instrumented: bool = True
 
 
 @dataclass

@@ -17,7 +17,7 @@ import numpy as np
 
 from repro.core.counts import BicliqueQuery, anchored_view
 from repro.graph.bipartite import BipartiteGraph, LAYER_U
-from repro.graph.priority import priority_order, priority_rank
+from repro.graph.priority import priority_order, rank_from_order
 from repro.graph.twohop import TwoHopIndex, build_two_hop_index
 
 __all__ = ["DeviceInputs", "prepare_device_inputs", "assign_roots_to_blocks",
@@ -46,8 +46,8 @@ def prepare_device_inputs(graph: BipartiteGraph, query: BicliqueQuery,
     """Anchor, rank, build the 2-hop index and filter unpromising roots."""
     t0 = time.perf_counter()
     g, p, q, anchored = anchored_view(graph, query, layer)
-    rank = priority_rank(g, LAYER_U, q)
     order = priority_order(g, LAYER_U, q)
+    rank = rank_from_order(order)
     index = build_two_hop_index(g, LAYER_U, q, min_priority_rank=rank)
     promising = []
     for root in order:

@@ -20,7 +20,7 @@ from typing import Iterator
 import numpy as np
 
 from repro.core.counts import BicliqueQuery, anchored_view
-from repro.gpu.intersect import merge_intersect
+from repro.engine.base import KernelBackend, resolve_backend
 from repro.graph.bipartite import BipartiteGraph, LAYER_U, LAYER_V
 from repro.graph.priority import priority_order, priority_rank
 from repro.graph.twohop import build_two_hop_index
@@ -31,13 +31,15 @@ __all__ = ["enumerate_bicliques"]
 def enumerate_bicliques(graph: BipartiteGraph,
                         query: BicliqueQuery,
                         layer: str | None = None,
-                        limit: int | None = None
+                        limit: int | None = None,
+                        backend: KernelBackend | str | None = None
                         ) -> Iterator[tuple[tuple[int, ...], tuple[int, ...]]]:
     """Yield every (p, q)-biclique of ``graph`` as (L, R) id tuples.
 
     ``L`` always holds U-layer ids of the *original* graph and ``R`` the
     V-layer ids, regardless of which layer the search anchors on.
     """
+    engine = resolve_backend(backend)
     g, p, q, anchored = anchored_view(graph, query, layer)
     rank = priority_rank(g, LAYER_U, q)
     order = priority_order(g, LAYER_U, q)
@@ -61,14 +63,14 @@ def enumerate_bicliques(graph: BipartiteGraph,
             if limit is not None and produced >= limit:
                 return
             u = int(u)
-            new_cr = merge_intersect(cr, g.neighbors(LAYER_U, u))
+            new_cr = engine.merge(cr, g.neighbors(LAYER_U, u))
             if len(new_cr) < q:
                 continue
             path.append(u)
             if len(path) == p:
                 yield from emit(path, new_cr)
             else:
-                new_cl = merge_intersect(cl, index.of(u))
+                new_cl = engine.merge(cl, index.of(u))
                 if len(new_cl) >= p - len(path):
                     yield from rec(path, new_cl, new_cr)
             path.pop()

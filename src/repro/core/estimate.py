@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.core.bcl import BCLProfile, _enumerate_root
 from repro.core.counts import BicliqueQuery, anchored_view
+from repro.engine.base import KernelBackend, resolve_backend
 from repro.graph.bipartite import BipartiteGraph, LAYER_U
 from repro.graph.priority import priority_rank
 from repro.graph.twohop import build_two_hop_index
@@ -55,12 +56,16 @@ class EstimateResult:
 def estimate_count(graph: BipartiteGraph, query: BicliqueQuery,
                    samples: int = 64,
                    seed: int | None = 0,
-                   layer: str | None = None) -> EstimateResult:
+                   layer: str | None = None,
+                   backend: KernelBackend | str | None = None) -> EstimateResult:
     """Horvitz-Thompson root-sampling estimate of the (p, q) count.
 
     With ``samples`` >= the number of promising roots the estimator runs
     every tree once and returns the exact count with zero variance.
     """
+    # the per-root profile is internal here, so the per-call breakdown
+    # instrumentation is never worth its cost
+    engine = resolve_backend(backend)
     start = time.perf_counter()
     g, p, q, _ = anchored_view(graph, query, layer)
     rank = priority_rank(g, LAYER_U, q)
@@ -75,7 +80,8 @@ def estimate_count(graph: BipartiteGraph, query: BicliqueQuery,
                               time.perf_counter() - start)
 
     if samples >= population:
-        total = sum(_enumerate_root(g, index, r, p, q, profile)
+        total = sum(_enumerate_root(g, index, r, p, q, profile, engine,
+                                    instrument=False)
                     for r in roots)
         return EstimateResult(query, float(total), 0.0, population,
                               population, time.perf_counter() - start)
@@ -92,7 +98,8 @@ def estimate_count(graph: BipartiteGraph, query: BicliqueQuery,
     for j, i in enumerate(picks):
         root = roots[int(i)]
         if root not in cache:
-            cache[root] = _enumerate_root(g, index, root, p, q, profile)
+            cache[root] = _enumerate_root(g, index, root, p, q, profile,
+                                          engine, instrument=False)
         contributions[j] = cache[root] / pi[int(i)]
     estimate = float(contributions.mean())
     std_error = float(contributions.std(ddof=1) / sqrt(samples)) \

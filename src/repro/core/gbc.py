@@ -28,16 +28,14 @@ from repro.core.device_common import (
     assign_roots_to_blocks,
     prepare_device_inputs,
 )
+from repro.engine.base import KernelBackend, resolve_backend
 from repro.errors import QueryError
 from repro.gpu.costmodel import effective_cycles
 from repro.gpu.device import DeviceSpec, rtx_3090
-from repro.gpu.intersect import binary_search_intersect
-from repro.gpu.memory import charge_stream
 from repro.gpu.metrics import KernelMetrics
-from repro.gpu.simt import record_work
 from repro.gpu.workqueue import simulate_blocks
 from repro.graph.bipartite import BipartiteGraph, LAYER_U
-from repro.htb.htb import HTB, BitmapSet, htb_from_graph, htb_from_two_hop, intersect_device
+from repro.htb.htb import HTB, BitmapSet, htb_from_graph, htb_from_two_hop
 
 __all__ = ["GBCOptions", "gbc_count", "gbc_variant"]
 
@@ -114,6 +112,7 @@ class _RootKernel:
     inputs: object
     spec: DeviceSpec
     opts: GBCOptions
+    engine: KernelBackend
     htb1: HTB | None
     htb2: HTB | None
     metrics: KernelMetrics = field(default_factory=KernelMetrics)
@@ -136,8 +135,8 @@ class _RootKernel:
         htb1, htb2 = self.htb1, self.htb2
         cr0 = htb1.view(root)
         cl0 = htb2.view(root)
-        charge_stream(self.metrics, self.spec,
-                      2 * (cr0.num_words + cl0.num_words))
+        self.engine.charge_stream(self.metrics,
+                                  2 * (cr0.num_words + cl0.num_words))
         if p == 1:
             self.total += comb(cr0.count(), q)
             return
@@ -155,18 +154,19 @@ class _RootKernel:
             if hybrid:
                 # one global->shared staging of the parent sets, duplicated
                 # |group| times in the shared buffer
-                charge_stream(self.metrics, self.spec, parent_words)
+                self.engine.charge_stream(self.metrics, parent_words)
                 dup_words = parent_words * len(group)
-                self.metrics.note_shared_peak(4 * dup_words)
+                self.engine.note_shared_peak(self.metrics, 4 * dup_words)
                 self.working.push(dup_words)
-                record_work(self.metrics, self.spec,
-                            len(group) * max(cl.num_words, cr.num_words),
-                            self.spec.warps_per_block)
+                self.engine.record_work(
+                    self.metrics,
+                    len(group) * max(cl.num_words, cr.num_words),
+                    self.spec.warps_per_block)
             results = []
             for u in group:
                 u = int(u)
-                new_cr = intersect_device(
-                    cr, self.htb1.view(u), self.spec, self.metrics,
+                new_cr = self.engine.bitmap_intersect(
+                    cr, self.htb1.view(u), self.metrics,
                     warps=self.spec.warps_per_block,
                     base_word=self.htb1.base_word(u),
                     keys_in_shared=hybrid, record_slots=not hybrid)
@@ -175,8 +175,8 @@ class _RootKernel:
                 if depth + 1 == p:
                     self.total += comb(new_cr.count(), q)
                     continue
-                new_cl = intersect_device(
-                    cl, self.htb2.view(u), self.spec, self.metrics,
+                new_cl = self.engine.bitmap_intersect(
+                    cl, self.htb2.view(u), self.metrics,
                     warps=self.spec.warps_per_block,
                     base_word=self.htb2.base_word(u),
                     keys_in_shared=hybrid, record_slots=not hybrid)
@@ -195,7 +195,7 @@ class _RootKernel:
         index = self.inputs.index
         cr0 = g.neighbors(LAYER_U, root)
         cl0 = index.of(root)
-        charge_stream(self.metrics, self.spec, len(cr0) + len(cl0))
+        self.engine.charge_stream(self.metrics, len(cr0) + len(cl0))
         if p == 1:
             self.total += comb(len(cr0), q)
             return
@@ -212,18 +212,18 @@ class _RootKernel:
         for start in range(0, len(cl), batch):
             group = cl[start:start + batch]
             if hybrid:
-                charge_stream(self.metrics, self.spec, parent_words)
+                self.engine.charge_stream(self.metrics, parent_words)
                 dup_words = parent_words * len(group)
-                self.metrics.note_shared_peak(4 * dup_words)
+                self.engine.note_shared_peak(self.metrics, 4 * dup_words)
                 self.working.push(dup_words)
-                record_work(self.metrics, self.spec,
-                            len(group) * max(len(cl), len(cr)),
-                            self.spec.warps_per_block)
+                self.engine.record_work(self.metrics,
+                                        len(group) * max(len(cl), len(cr)),
+                                        self.spec.warps_per_block)
             results = []
             for u in group:
                 u = int(u)
-                new_cr = binary_search_intersect(
-                    cr, g.neighbors(LAYER_U, u), self.spec, self.metrics,
+                new_cr = self.engine.intersect(
+                    cr, g.neighbors(LAYER_U, u), self.metrics,
                     warps=self.spec.warps_per_block,
                     base_word=int(g.u_offsets[u]),
                     record_slots=not hybrid)
@@ -232,8 +232,8 @@ class _RootKernel:
                 if depth + 1 == p:
                     self.total += comb(len(new_cr), q)
                     continue
-                new_cl = binary_search_intersect(
-                    cl, index.of(u), self.spec, self.metrics,
+                new_cl = self.engine.intersect(
+                    cl, index.of(u), self.metrics,
                     warps=self.spec.warps_per_block,
                     base_word=int(index.offsets[u]),
                     record_slots=not hybrid)
@@ -257,14 +257,18 @@ class _RootKernel:
 def gbc_count(graph: BipartiteGraph, query: BicliqueQuery,
               spec: DeviceSpec | None = None,
               options: GBCOptions | None = None,
-              layer: str | None = None) -> DeviceRunResult:
+              layer: str | None = None,
+              backend: KernelBackend | str | None = None) -> DeviceRunResult:
     """Count (p, q)-bicliques with GBC on the simulated device.
 
     Returns a :class:`DeviceRunResult` whose ``breakdown`` carries the
     Table V components (HTB transform seconds, counting makespan) and the
-    utilisation/imbalance diagnostics used across §VII.
+    utilisation/imbalance diagnostics used across §VII.  With
+    ``backend="fast"`` the count is identical but all device accounting
+    (metrics, makespan, device seconds) stays zero — use ``wall_seconds``.
     """
     spec = spec or rtx_3090()
+    engine = resolve_backend(backend, spec)
     opts = options or GBCOptions()
     wall0 = time.perf_counter()
     inputs = prepare_device_inputs(graph, query, layer)
@@ -284,7 +288,8 @@ def gbc_count(graph: BipartiteGraph, query: BicliqueQuery,
     peak_words = 0
     for root in inputs.roots:
         kernel = _RootKernel(inputs=inputs, spec=spec, opts=opts,
-                             htb1=htb1, htb2=htb2)
+                             engine=engine, htb1=htb1, htb2=htb2,
+                             metrics=engine.new_metrics())
         kernel.run(int(root), inputs.p, inputs.q)
         total += kernel.total
         per_root_cycles.append(effective_cycles(kernel.metrics, spec))
@@ -320,4 +325,6 @@ def gbc_count(graph: BipartiteGraph, query: BicliqueQuery,
             "htb_bytes": float((htb1.nbytes + htb2.nbytes)
                                if opts.use_htb else 0.0),
         },
+        backend=engine.name,
+        backend_instrumented=engine.instrumented,
     )

@@ -16,10 +16,9 @@ import numpy as np
 
 from repro.core.counts import BicliqueQuery, DeviceRunResult
 from repro.core.device_common import assign_roots_to_blocks, prepare_device_inputs
+from repro.engine.base import KernelBackend, resolve_backend
 from repro.gpu.costmodel import effective_cycles
 from repro.gpu.device import DeviceSpec, rtx_3090
-from repro.gpu.intersect import binary_search_intersect
-from repro.gpu.memory import charge_stream
 from repro.gpu.metrics import KernelMetrics
 from repro.gpu.workqueue import simulate_blocks
 from repro.graph.bipartite import BipartiteGraph, LAYER_U
@@ -27,18 +26,19 @@ from repro.graph.bipartite import BipartiteGraph, LAYER_U
 __all__ = ["gbl_count"]
 
 
-def _gbl_root_kernel(inputs, root: int, spec: DeviceSpec) -> tuple[int, KernelMetrics]:
+def _gbl_root_kernel(inputs, root: int, spec: DeviceSpec,
+                     engine: KernelBackend) -> tuple[int, KernelMetrics]:
     """DFS search tree of one root with binary-search intersections."""
     g = inputs.graph
     index = inputs.index
     p, q = inputs.p, inputs.q
     warps = spec.warps_per_block
-    metrics = KernelMetrics()
+    metrics = engine.new_metrics()
 
     cr0 = g.neighbors(LAYER_U, root)
     cl0 = index.of(root)
     # initial coalesced loads of N(root) and N2^q(root)
-    charge_stream(metrics, spec, len(cr0) + len(cl0))
+    engine.charge_stream(metrics, len(cr0) + len(cl0))
     total = 0
     if p == 1:
         return comb(len(cr0), q), metrics
@@ -47,16 +47,16 @@ def _gbl_root_kernel(inputs, root: int, spec: DeviceSpec) -> tuple[int, KernelMe
         nonlocal total
         for u in cl:
             u = int(u)
-            new_cr = binary_search_intersect(
-                cr, g.neighbors(LAYER_U, u), spec, metrics,
+            new_cr = engine.intersect(
+                cr, g.neighbors(LAYER_U, u), metrics,
                 warps=warps, base_word=int(g.u_offsets[u]))
             if len(new_cr) < q:
                 continue
             if depth + 1 == p:
                 total += comb(len(new_cr), q)
                 continue
-            new_cl = binary_search_intersect(
-                cl, index.of(u), spec, metrics,
+            new_cl = engine.intersect(
+                cl, index.of(u), metrics,
                 warps=warps, base_word=int(index.offsets[u]))
             if len(new_cl) < p - depth - 1:
                 continue
@@ -69,9 +69,11 @@ def _gbl_root_kernel(inputs, root: int, spec: DeviceSpec) -> tuple[int, KernelMe
 def gbl_count(graph: BipartiteGraph, query: BicliqueQuery,
               spec: DeviceSpec | None = None,
               layer: str | None = None,
-              num_blocks: int | None = None) -> DeviceRunResult:
+              num_blocks: int | None = None,
+              backend: KernelBackend | str | None = None) -> DeviceRunResult:
     """Count (p, q)-bicliques with the GPU baseline on the simulator."""
     spec = spec or rtx_3090()
+    engine = resolve_backend(backend, spec)
     wall0 = time.perf_counter()
     inputs = prepare_device_inputs(graph, query, layer)
     blocks = num_blocks or spec.blocks_per_launch
@@ -80,7 +82,7 @@ def gbl_count(graph: BipartiteGraph, query: BicliqueQuery,
     per_root_cycles: list[float] = []
     agg = KernelMetrics()
     for root in inputs.roots:
-        got, metrics = _gbl_root_kernel(inputs, int(root), spec)
+        got, metrics = _gbl_root_kernel(inputs, int(root), spec, engine)
         total += got
         per_root_cycles.append(effective_cycles(metrics, spec))
         agg.merge(metrics)
@@ -107,4 +109,6 @@ def gbl_count(graph: BipartiteGraph, query: BicliqueQuery,
             "imbalance": sched.imbalance,
             "utilization": agg.utilization,
         },
+        backend=engine.name,
+        backend_instrumented=engine.instrumented,
     )

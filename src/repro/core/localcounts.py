@@ -24,7 +24,7 @@ from math import comb
 import numpy as np
 
 from repro.core.counts import BicliqueQuery, anchored_view
-from repro.gpu.intersect import merge_intersect
+from repro.engine.base import KernelBackend, resolve_backend
 from repro.graph.bipartite import BipartiteGraph, LAYER_U, LAYER_V
 from repro.graph.priority import priority_order, priority_rank
 from repro.graph.twohop import build_two_hop_index
@@ -51,8 +51,11 @@ class LocalCountResult:
 
 def local_biclique_counts(graph: BipartiteGraph,
                           query: BicliqueQuery,
-                          layer: str | None = None) -> LocalCountResult:
+                          layer: str | None = None,
+                          backend: KernelBackend | str | None = None
+                          ) -> LocalCountResult:
     """Exact local (p, q)-biclique counts for every vertex."""
+    engine = resolve_backend(backend)
     start = time.perf_counter()
     g, p, q, anchored = anchored_view(graph, query, layer)
     rank = priority_rank(g, LAYER_U, q)
@@ -78,14 +81,14 @@ def local_biclique_counts(graph: BipartiteGraph,
     def rec(path: list[int], cl: np.ndarray, cr: np.ndarray) -> None:
         for u in cl:
             u = int(u)
-            new_cr = merge_intersect(cr, g.neighbors(LAYER_U, u))
+            new_cr = engine.merge(cr, g.neighbors(LAYER_U, u))
             if len(new_cr) < q:
                 continue
             path.append(u)
             if len(path) == p:
                 leaf(path, new_cr)
             else:
-                new_cl = merge_intersect(cl, index.of(u))
+                new_cl = engine.merge(cl, index.of(u))
                 if len(new_cl) >= p - len(path):
                     rec(path, new_cl, new_cr)
             path.pop()

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 from repro.core.counts import BicliqueQuery, DeviceRunResult
 from repro.core.gbc import GBCOptions, gbc_count
+from repro.engine.base import KernelBackend
 from repro.gpu.device import DeviceSpec, rtx_3090
 from repro.graph.bipartite import BipartiteGraph
 from repro.reorder.base import Reordering, apply_reordering
@@ -66,7 +67,8 @@ def run_pipeline(graph: BipartiteGraph, query: BicliqueQuery,
                  spec: DeviceSpec | None = None,
                  options: GBCOptions | None = None,
                  border_iterations: int | None = None,
-                 reordered: BipartiteGraph | None = None) -> PipelineResult:
+                 reordered: BipartiteGraph | None = None,
+                 backend: KernelBackend | str | None = None) -> PipelineResult:
     """Run reorder + HTB + GBC; pass ``reordered`` to reuse a prior layout.
 
     The count is invariant under reordering (the reordered graph is
@@ -83,7 +85,7 @@ def run_pipeline(graph: BipartiteGraph, query: BicliqueQuery,
         reordering = _make_reordering(graph, reorder, border_iterations)
         g = apply_reordering(graph, reordering) if reordering else graph
         reorder_seconds = time.perf_counter() - t0
-    result = gbc_count(g, query, spec=spec, options=options)
+    result = gbc_count(g, query, spec=spec, options=options, backend=backend)
     return PipelineResult(
         reorder_method=reorder,
         reorder_seconds=reorder_seconds,

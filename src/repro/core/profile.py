@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.counts import BicliqueQuery, anchored_view
-from repro.gpu.intersect import merge_intersect
+from repro.engine.base import KernelBackend, resolve_backend
 from repro.graph.bipartite import BipartiteGraph, LAYER_U
 from repro.graph.priority import priority_order, priority_rank
 from repro.graph.twohop import build_two_hop_index
@@ -76,8 +76,11 @@ class SearchTreeProfile:
 
 
 def profile_search(graph: BipartiteGraph, query: BicliqueQuery,
-                   layer: str | None = None) -> SearchTreeProfile:
+                   layer: str | None = None,
+                   backend: KernelBackend | str | None = None
+                   ) -> SearchTreeProfile:
     """Run the exact search once, collecting per-depth statistics."""
+    engine = resolve_backend(backend)
     start = time.perf_counter()
     g, p, q, _ = anchored_view(graph, query, layer)
     rank = priority_rank(g, LAYER_U, q)
@@ -92,7 +95,7 @@ def profile_search(graph: BipartiteGraph, query: BicliqueQuery,
         stats.sum_cr += len(cr)
         for u in cl:
             u = int(u)
-            new_cr = merge_intersect(cr, g.neighbors(LAYER_U, u))
+            new_cr = engine.merge(cr, g.neighbors(LAYER_U, u))
             if len(new_cr) < q:
                 stats.pruned_cr += 1
                 continue
@@ -101,7 +104,7 @@ def profile_search(graph: BipartiteGraph, query: BicliqueQuery,
                 profile.level(depth + 1).sum_cr += len(new_cr)
                 profile.level(depth + 1).leaves += 1
                 continue
-            new_cl = merge_intersect(cl, index.of(u))
+            new_cl = engine.merge(cl, index.of(u))
             if len(new_cl) < p - depth - 1:
                 stats.pruned_cl += 1
                 continue

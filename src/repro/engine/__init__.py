@@ -1,0 +1,30 @@
+"""Unified kernel-backend layer: pluggable execution engines.
+
+Planning/definition (which sets intersect, in which order) lives in
+:mod:`repro.core`; measured execution lives here.  Two engines ship:
+
+* ``"sim"`` — :class:`SimulatedDeviceBackend`, the instrumented simulated
+  GPU every paper figure is measured with;
+* ``"fast"`` — :class:`FastBackend`, raw vectorised NumPy with all
+  instrumentation compiled out.
+
+Select one via the ``backend=`` argument of any counting entry point, the
+``--backend`` CLI flag, or construct an engine directly::
+
+    from repro import FastBackend, gbc_count
+    result = gbc_count(graph, query, backend=FastBackend())
+"""
+
+from repro.engine.base import (
+    BACKEND_NAMES,
+    KernelBackend,
+    get_backend,
+    resolve_backend,
+)
+from repro.engine.fast import FastBackend
+from repro.engine.simulated import SimulatedDeviceBackend
+
+__all__ = [
+    "KernelBackend", "SimulatedDeviceBackend", "FastBackend",
+    "BACKEND_NAMES", "get_backend", "resolve_backend",
+]

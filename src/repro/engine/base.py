@@ -1,0 +1,139 @@
+"""The kernel-backend protocol: one intersection API, many engines.
+
+Every algorithm in :mod:`repro.core` (and the HTB path in
+:mod:`repro.htb`) expresses its work in terms of four kernel primitives —
+CPU sorted-merge, device lock-step binary search, membership probing, and
+truncated-bitmap intersection — plus a handful of accounting hooks
+(coalesced streams, gathers, warp-slot occupancy, shared-memory peaks).
+A :class:`KernelBackend` supplies all of them, so the *definition* of a
+search (which sets intersect, in which order) is separated from its
+*execution* (instrumented simulation vs raw speed):
+
+* :class:`repro.engine.simulated.SimulatedDeviceBackend` — the paper's
+  measurement engine.  Bit-for-bit identical transaction/comparison/slot
+  accounting to the original hard-wired call sites; powers every figure
+  and table that plots device metrics.
+* :class:`repro.engine.fast.FastBackend` — pure vectorised NumPy with all
+  timing, comparison counting and transaction charging compiled out; the
+  speed path for large graphs, and the template for future real-GPU
+  (CuPy) or multiprocess engines.
+
+Algorithms accept ``backend=`` as an instance, a registry name (``"sim"``
+/ ``"fast"``), or ``None`` (default: simulated, preserving the historical
+behaviour of every entry point).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import QueryError
+from repro.gpu.metrics import KernelMetrics
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.gpu.device import DeviceSpec
+    from repro.htb.htb import BitmapSet
+
+__all__ = ["KernelBackend", "BACKEND_NAMES", "get_backend", "resolve_backend"]
+
+BACKEND_NAMES = ("sim", "fast")
+
+
+class KernelBackend(ABC):
+    """Pluggable execution engine behind every set intersection.
+
+    The four abstract methods are the kernel primitives; the concrete
+    hooks below them are the instrumentation sink, which the fast backend
+    leaves as no-ops so uninstrumented runs pay nothing for accounting.
+    """
+
+    #: registry name of the backend ("sim", "fast", ...)
+    name: str = "abstract"
+    #: whether timers and device metrics collected through this backend
+    #: are live (False means every sink hook is a no-op)
+    instrumented: bool = False
+
+    # -- kernel primitives ---------------------------------------------
+    @abstractmethod
+    def merge(self, a: np.ndarray, b: np.ndarray,
+              comparisons: list[int] | None = None) -> np.ndarray:
+        """Sorted-merge intersection (the CPU path of Basic/BCL).
+
+        ``comparisons`` is a single-cell list accumulating the merge's
+        element-comparison count for the Fig. 1(b) breakdown; backends
+        without instrumentation ignore it.
+        """
+
+    @abstractmethod
+    def intersect(self, keys: np.ndarray, lst: np.ndarray,
+                  metrics: KernelMetrics, *,
+                  warps: int = 1, base_word: int = 0,
+                  record_slots: bool = True) -> np.ndarray:
+        """Intersect sorted ``keys`` with sorted ``lst`` (device CSR path).
+
+        Returns the sorted intersection.  The simulated engine charges
+        transactions/comparisons/slots into ``metrics``; fast engines
+        leave ``metrics`` untouched.
+        """
+
+    @abstractmethod
+    def membership(self, keys: np.ndarray, lst: np.ndarray) -> np.ndarray:
+        """Boolean mask of which sorted ``keys`` appear in sorted ``lst``."""
+
+    @abstractmethod
+    def bitmap_intersect(self, keys: "BitmapSet", lst: "BitmapSet",
+                         metrics: KernelMetrics, *,
+                         warps: int = 1, base_word: int = 0,
+                         keys_in_shared: bool = True,
+                         record_slots: bool = True) -> "BitmapSet":
+        """Intersect two truncated bitmaps (the HTB path, Example 7)."""
+
+    # -- instrumentation sink ------------------------------------------
+    def new_metrics(self) -> KernelMetrics:
+        """A fresh per-kernel metrics accumulator."""
+        return KernelMetrics()
+
+    def charge_stream(self, metrics: KernelMetrics, num_words: int) -> None:
+        """Account a coalesced sequential read/write of ``num_words``."""
+
+    def record_work(self, metrics: KernelMetrics, work_items: int,
+                    warps: int) -> None:
+        """Account warp-slot occupancy for ``work_items`` lanes of work."""
+
+    def note_shared_peak(self, metrics: KernelMetrics,
+                         nbytes: int) -> None:
+        """Track the largest shared-memory footprint seen."""
+
+
+def get_backend(name: str, spec: "DeviceSpec | None" = None) -> KernelBackend:
+    """Construct a backend by registry name (``"sim"`` or ``"fast"``)."""
+    from repro.engine.fast import FastBackend
+    from repro.engine.simulated import SimulatedDeviceBackend
+
+    if name == "sim":
+        return SimulatedDeviceBackend(spec)
+    if name == "fast":
+        return FastBackend()
+    raise QueryError(f"unknown kernel backend {name!r}; "
+                     f"expected one of {BACKEND_NAMES}")
+
+
+def resolve_backend(backend: "KernelBackend | str | None",
+                    spec: "DeviceSpec | None" = None) -> KernelBackend:
+    """Normalise a ``backend=`` argument to a :class:`KernelBackend`.
+
+    ``None`` resolves to the simulated engine (the historical default of
+    every algorithm), a string goes through :func:`get_backend`, and an
+    instance is returned as-is — its own device spec wins over ``spec``.
+    """
+    if backend is None:
+        backend = "sim"
+    if isinstance(backend, str):
+        return get_backend(backend, spec)
+    if isinstance(backend, KernelBackend):
+        return backend
+    raise QueryError(f"backend must be a KernelBackend, a name in "
+                     f"{BACKEND_NAMES}, or None; got {backend!r}")

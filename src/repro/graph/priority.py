@@ -19,7 +19,8 @@ import numpy as np
 from repro.graph.bipartite import BipartiteGraph, LAYER_U, LAYER_V
 from repro.graph.twohop import two_hop_multiset
 
-__all__ = ["priority_order", "priority_rank", "select_layer", "wedge_mass"]
+__all__ = ["priority_order", "priority_rank", "rank_from_order",
+           "select_layer", "wedge_mass"]
 
 
 def _n2k_sizes(graph: BipartiteGraph, layer: str, k: int) -> np.ndarray:
@@ -43,6 +44,18 @@ def priority_order(graph: BipartiteGraph, layer: str, k: int) -> np.ndarray:
     return ids[np.lexsort((ids, sizes))]
 
 
+def rank_from_order(order: np.ndarray) -> np.ndarray:
+    """Invert a priority order into rank[vertex] = position (0 = highest).
+
+    Callers that need both the order and the rank should compute the
+    order once and invert it here — recomputing the order means a second
+    full wedge-enumeration pass over the graph.
+    """
+    rank = np.empty_like(order)
+    rank[order] = np.arange(len(order), dtype=np.int64)
+    return rank
+
+
 def priority_rank(graph: BipartiteGraph, layer: str, k: int) -> np.ndarray:
     """rank[vertex] = position of ``vertex`` in the priority order.
 
@@ -50,10 +63,7 @@ def priority_rank(graph: BipartiteGraph, layer: str, k: int) -> np.ndarray:
     partial result with strictly larger-rank candidates, which is what
     makes the enumeration duplicate-free.
     """
-    order = priority_order(graph, layer, k)
-    rank = np.empty_like(order)
-    rank[order] = np.arange(len(order), dtype=np.int64)
-    return rank
+    return rank_from_order(priority_order(graph, layer, k))
 
 
 def wedge_mass(graph: BipartiteGraph, through_layer: str) -> int:

@@ -48,12 +48,13 @@ def decode(idx: np.ndarray, val: np.ndarray,
     """Decode (idx, val) truncated bitmaps back into sorted vertex ids."""
     if len(idx) == 0:
         return np.empty(0, dtype=np.int64)
-    out: list[np.ndarray] = []
     bit_values = np.arange(word_bits, dtype=np.uint64)
-    for word, mask in zip(idx, val):
-        bits = bit_values[(np.uint64(mask) >> bit_values) & np.uint64(1) == 1]
-        out.append(word * word_bits + bits.astype(np.int64))
-    return np.concatenate(out)
+    # (words x word_bits) bit matrix; nonzero walks it row-major, so the
+    # output is sorted as long as idx is
+    set_bits = (np.asarray(val, dtype=np.uint64)[:, None] >> bit_values) \
+        & np.uint64(1)
+    rows, cols = np.nonzero(set_bits)
+    return np.asarray(idx, dtype=np.int64)[rows] * word_bits + cols
 
 
 def popcount(val: np.ndarray) -> np.ndarray:
@@ -63,8 +64,13 @@ def popcount(val: np.ndarray) -> np.ndarray:
 
 def cardinality(val: np.ndarray) -> int:
     """Total number of set bits across the mask array."""
-    if len(val) == 0:
+    n = len(val)
+    if n == 0:
         return 0
+    if n <= 8:
+        # typical candidate sets hold a handful of words; Python's
+        # int.bit_count beats two numpy kernel dispatches there
+        return sum(int(v).bit_count() for v in val.tolist())
     return int(popcount(val).sum())
 
 

@@ -31,7 +31,7 @@ from repro.gpu.simt import record_work
 from repro.htb.bitmap import WORD_BITS, and_aligned, cardinality, decode, encode, popcount
 
 __all__ = ["HTB", "build_htb_from_rows", "htb_from_graph", "htb_from_two_hop",
-           "intersect_device", "BitmapSet"]
+           "intersect_device", "intersect_exact", "BitmapSet"]
 
 
 @dataclass(frozen=True)
@@ -50,8 +50,14 @@ class BitmapSet:
         return decode(self.idx, self.val)
 
     def count(self) -> int:
-        """Number of vertices in the set (popcount sum)."""
-        return cardinality(self.val)
+        """Number of vertices in the set (popcount sum, memoised — the
+        word arrays are never mutated after construction)."""
+        cached = self.__dict__.get("_count")
+        if cached is None:
+            # direct __dict__ write: the dataclass is frozen, but only
+            # against __setattr__
+            self.__dict__["_count"] = cached = cardinality(self.val)
+        return cached
 
     @property
     def num_words(self) -> int:
@@ -75,9 +81,15 @@ class HTB:
         return len(self.off) - 1
 
     def view(self, vertex: int) -> BitmapSet:
-        """The (idx, val) slice for ``vertex`` — zero-copy views."""
-        lo, hi = self.off[vertex], self.off[vertex + 1]
-        return BitmapSet(self.idx[lo:hi], self.val[lo:hi])
+        """The (idx, val) slice for ``vertex`` — zero-copy views, memoised
+        per vertex (the flat arrays are immutable after construction)."""
+        cache = self.__dict__.setdefault("_views", {})
+        got = cache.get(vertex)
+        if got is None:
+            lo, hi = self.off[vertex], self.off[vertex + 1]
+            cache[vertex] = got = BitmapSet(self.idx[lo:hi],
+                                            self.val[lo:hi])
+        return got
 
     def words_of(self, vertex: int) -> int:
         """Number of stored words for ``vertex``."""
@@ -90,7 +102,10 @@ class HTB:
     def base_word(self, vertex: int) -> int:
         """Word offset of the vertex's slice inside the flat arrays; used
         by the transaction model to align gathers."""
-        return int(self.off[vertex])
+        offs = self.__dict__.get("_off_list")
+        if offs is None:
+            self.__dict__["_off_list"] = offs = self.off.tolist()
+        return offs[vertex]
 
     @property
     def total_words(self) -> int:

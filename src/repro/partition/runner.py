@@ -25,8 +25,8 @@ from math import comb
 import numpy as np
 
 from repro.core.counts import BicliqueQuery
+from repro.engine.base import KernelBackend, resolve_backend
 from repro.gpu.device import DeviceSpec, rtx_3090
-from repro.gpu.intersect import merge_intersect
 from repro.graph.bipartite import BipartiteGraph, LAYER_U
 from repro.graph.priority import priority_rank
 from repro.graph.twohop import TwoHopIndex, build_two_hop_index
@@ -111,7 +111,8 @@ def _enumerate_root(graph: BipartiteGraph, index: TwoHopIndex, root: int,
                     owner: np.ndarray,
                     resident: set[int] | None,
                     weights: np.ndarray,
-                    report: PartitionRunReport) -> None:
+                    report: PartitionRunReport,
+                    engine: KernelBackend) -> None:
     """Exact per-root enumeration with residency + span tracking."""
     cmp_cell = [0]
     cr0 = graph.neighbors(LAYER_U, root)
@@ -134,7 +135,7 @@ def _enumerate_root(graph: BipartiteGraph, index: TwoHopIndex, root: int,
         for u in cl:
             u = int(u)
             touch(u)
-            new_cr = merge_intersect(cr, graph.neighbors(LAYER_U, u), cmp_cell)
+            new_cr = engine.merge(cr, graph.neighbors(LAYER_U, u), cmp_cell)
             if len(new_cr) < q:
                 continue
             child_spans = spans or int(owner[u]) != root_part
@@ -146,7 +147,7 @@ def _enumerate_root(graph: BipartiteGraph, index: TwoHopIndex, root: int,
                 else:
                     report.intra_count += found
                 continue
-            new_cl = merge_intersect(cl, index.of(u), cmp_cell)
+            new_cl = engine.merge(cl, index.of(u), cmp_cell)
             if len(new_cl) < p - depth - 1:
                 continue
             rec(depth + 1, new_cl, new_cr, child_spans)
@@ -161,8 +162,18 @@ def run_partitioned_count(graph: BipartiteGraph, query: BicliqueQuery,
                           residency: list[set[int] | None],
                           initial_words: list[int],
                           weights: np.ndarray,
-                          method: str) -> PartitionRunReport:
-    """Count over explicit root groups with explicit residency sets."""
+                          method: str,
+                          backend: KernelBackend | str | None = None
+                          ) -> PartitionRunReport:
+    """Count over explicit root groups with explicit residency sets.
+
+    The report's compute-time model is driven by the backend's comparison
+    counts, so an uninstrumented backend (``"fast"``) leaves
+    ``report.comparisons`` at zero and the derived compute/throughput
+    figures reflect PCIe transfer time only — counts and transfer words
+    stay exact either way.
+    """
+    engine = resolve_backend(backend)
     t0 = time.perf_counter()
     rank = priority_rank(graph, LAYER_U, query.q)
     index = build_two_hop_index(graph, LAYER_U, query.q,
@@ -173,7 +184,7 @@ def run_partitioned_count(graph: BipartiteGraph, query: BicliqueQuery,
         report.initial_transfer_words += int(initial_words[gid])
         for root in roots:
             _enumerate_root(graph, index, int(root), query.p, query.q,
-                            owner, residency[gid], weights, report)
+                            owner, residency[gid], weights, report, engine)
     report.wall_seconds = time.perf_counter() - t0
     return report
 
@@ -188,8 +199,14 @@ def _owner_from_groups(n: int, groups: list[list[int]]) -> np.ndarray:
 
 def run_bcpar(graph: BipartiteGraph, query: BicliqueQuery,
               budget_words: int,
-              spec: DeviceSpec | None = None) -> tuple[PartitionRunReport, PartitionSet]:
-    """Partition with BCPar and count; returns (report, partition set)."""
+              spec: DeviceSpec | None = None,
+              backend: KernelBackend | str | None = None
+              ) -> tuple[PartitionRunReport, PartitionSet]:
+    """Partition with BCPar and count; returns (report, partition set).
+
+    See :func:`run_partitioned_count` for the fast-backend caveat on the
+    report's comparison-driven timing figures.
+    """
     full_index = build_two_hop_index(graph, LAYER_U, query.q)
     pset = bcpar_partition(graph, full_index, budget_words)
     groups = [p.roots for p in pset.partitions]
@@ -197,13 +214,16 @@ def run_bcpar(graph: BipartiteGraph, query: BicliqueQuery,
     residency: list[set[int] | None] = [set(p.closure) for p in pset.partitions]
     initial = [p.cost_words for p in pset.partitions]
     report = run_partitioned_count(graph, query, groups, owner, residency,
-                                   initial, pset.weights, method="BCPar")
+                                   initial, pset.weights, method="BCPar",
+                                   backend=backend)
     return report, pset
 
 
 def run_metis_like(graph: BipartiteGraph, query: BicliqueQuery,
                    num_parts: int,
-                   spec: DeviceSpec | None = None) -> tuple[PartitionRunReport, MetisLikeResult]:
+                   spec: DeviceSpec | None = None,
+                   backend: KernelBackend | str | None = None
+                   ) -> tuple[PartitionRunReport, MetisLikeResult]:
     """Partition with the METIS-like baseline and count."""
     full_index = build_two_hop_index(graph, LAYER_U, query.q)
     degrees = graph.degrees(LAYER_U).astype(np.int64)
@@ -214,5 +234,6 @@ def run_metis_like(graph: BipartiteGraph, query: BicliqueQuery,
     residency: list[set[int] | None] = [set(g) for g in groups]
     initial = [int(weights[g].sum()) if len(g) else 0 for g in groups]
     report = run_partitioned_count(graph, query, groups, owner, residency,
-                                   initial, weights, method="METIS-like")
+                                   initial, weights, method="METIS-like",
+                                   backend=backend)
     return report, mres

@@ -49,8 +49,9 @@ class TestRunMatrix:
 
         real = runner_mod.run_method
 
-        def broken(method, graph, query, spec=None, threads=16):
-            res = real(method, graph, query, spec=spec, threads=threads)
+        def broken(method, graph, query, spec=None, threads=16, **kwargs):
+            res = real(method, graph, query, spec=spec, threads=threads,
+                       **kwargs)
             if method == "GBC":
                 res.count += 1
             return res

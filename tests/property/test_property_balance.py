@@ -47,11 +47,15 @@ class TestMakespanBounds:
 
     @settings(max_examples=50)
     @given(costs_strategy, st.integers(1, 8))
-    def test_greedy_never_worse_than_contiguous(self, costs, blocks):
+    def test_greedy_within_graham_bound_of_contiguous(self, costs, blocks):
+        # LPT greedy is not pointwise <= an arbitrary split (hypothesis
+        # finds counterexamples like [29635, 32122, 2, 29634, 32121] on 2
+        # blocks), but Graham's bound guarantees makespan <=
+        # (4/3 - 1/3m) * OPT, and any split's makespan >= OPT
         w = np.asarray(costs)
         greedy = split_loads(weighted_greedy_split(w, blocks), w).max()
         naive = split_loads(contiguous_split(len(w), blocks), w).max()
-        assert greedy <= naive + 1e-6
+        assert greedy <= (4 / 3 - 1 / (3 * blocks)) * naive + 1e-6
 
 
 class TestStealingProperties:
