@@ -11,9 +11,11 @@ Public API quickstart::
 Every counting entry point accepts ``backend=`` to pick the execution
 engine: ``"sim"`` (default) runs the fully instrumented simulated device,
 ``"fast"`` runs pure vectorised NumPy with the instrumentation compiled
-out — identical counts, several times faster on large graphs::
+out, and ``"par"`` shards the root set over forked worker processes —
+identical counts in every case::
 
     fast = gbc_count(g, BicliqueQuery(3, 4), backend="fast")
+    par = gbc_count(g, BicliqueQuery(3, 4), workers=4)  # implies "par"
 
 Packages:
 
@@ -25,6 +27,7 @@ Packages:
 * :mod:`repro.htb` — Hierarchical Truncated Bitmap.
 * :mod:`repro.reorder` — Border / Gorder / degree reorderings.
 * :mod:`repro.balance` — pre-runtime + work-stealing load balancing.
+* :mod:`repro.parallel` — shard orchestration for multi-process counting.
 * :mod:`repro.partition` — BCPar and the METIS-like baseline.
 * :mod:`repro.core` — the counting algorithms (Basic, BCL, BCLP, GBL, GBC).
 * :mod:`repro.bench` — dataset stand-ins and paper experiment harness.
@@ -49,6 +52,7 @@ from repro.engine import (
     BACKEND_NAMES,
     FastBackend,
     KernelBackend,
+    ParallelBackend,
     SimulatedDeviceBackend,
     get_backend,
     resolve_backend,
@@ -80,5 +84,5 @@ __all__ = [
     "planted_bicliques", "star_bipartite", "read_edge_list", "write_edge_list",
     "DeviceSpec", "rtx_3090", "small_test_device",
     "KernelBackend", "SimulatedDeviceBackend", "FastBackend",
-    "BACKEND_NAMES", "get_backend", "resolve_backend",
+    "ParallelBackend", "BACKEND_NAMES", "get_backend", "resolve_backend",
 ]

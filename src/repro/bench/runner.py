@@ -69,23 +69,32 @@ def headline_seconds(result: CountResult) -> float:
 def run_method(method: str, graph: BipartiteGraph, query: BicliqueQuery,
                spec: DeviceSpec | None = None,
                threads: int = 16,
-               backend: KernelBackend | str | None = None) -> CountResult:
-    """Dispatch one of the paper's methods by name."""
+               backend: KernelBackend | str | None = None,
+               workers: int | None = None) -> CountResult:
+    """Dispatch one of the paper's methods by name.
+
+    ``workers`` selects sharded multi-process execution (the ``"par"``
+    backend) with that many processes; see
+    :func:`repro.engine.base.resolve_backend`.
+    """
     spec = spec or rtx_3090()
     if method == "Basic":
-        return basic_count(graph, query, backend=backend)
+        return basic_count(graph, query, backend=backend, workers=workers)
     if method == "BCL":
-        return bcl_count(graph, query, backend=backend)
+        return bcl_count(graph, query, backend=backend, workers=workers)
     if method == "BCLP":
-        return bclp_count(graph, query, threads=threads, backend=backend)
+        return bclp_count(graph, query, threads=threads, backend=backend,
+                          workers=workers)
     if method == "GBL":
-        return gbl_count(graph, query, spec=spec, backend=backend)
+        return gbl_count(graph, query, spec=spec, backend=backend,
+                         workers=workers)
     if method == "GBC":
-        return gbc_count(graph, query, spec=spec, backend=backend)
+        return gbc_count(graph, query, spec=spec, backend=backend,
+                         workers=workers)
     if method.startswith("GBC-"):
         return gbc_count(graph, query, spec=spec,
                          options=gbc_variant(method.split("-", 1)[1]),
-                         backend=backend)
+                         backend=backend, workers=workers)
     raise ValueError(f"unknown method {method!r}; expected one of {METHODS}")
 
 
@@ -94,7 +103,8 @@ def run_matrix(graphs: dict[str, BipartiteGraph],
                methods: list[str],
                spec: DeviceSpec | None = None,
                check_agreement: bool = True,
-               backend: KernelBackend | str | None = None) -> list[MethodRun]:
+               backend: KernelBackend | str | None = None,
+               workers: int | None = None) -> list[MethodRun]:
     """Run every (dataset, query, method) cell; optionally cross-check
     that all methods agree on the count (they must — all are exact)."""
     spec = spec or rtx_3090()
@@ -105,7 +115,7 @@ def run_matrix(graphs: dict[str, BipartiteGraph],
             for method in methods:
                 t0 = time.perf_counter()
                 result = run_method(method, graph, query, spec=spec,
-                                    backend=backend)
+                                    backend=backend, workers=workers)
                 elapsed = time.perf_counter() - t0
                 runs.append(MethodRun(method=method, dataset=name,
                                       query=query, result=result,

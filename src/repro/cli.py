@@ -64,10 +64,15 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("-p", type=int, required=True)
     c.add_argument("-q", type=int, required=True)
     c.add_argument("--method", default="GBC", choices=list(METHODS))
-    c.add_argument("--backend", default="sim", choices=list(BACKEND_NAMES),
+    c.add_argument("--backend", default=None, choices=list(BACKEND_NAMES),
                    help="kernel execution engine: 'sim' reports simulated "
-                        "device metrics, 'fast' skips instrumentation "
-                        "(default sim)")
+                        "device metrics, 'fast' skips instrumentation, "
+                        "'par' shards roots over worker processes "
+                        "(default: sim, or par when --workers is given)")
+    c.add_argument("--workers", type=int, default=None, metavar="N",
+                   help="worker processes for the parallel engine; "
+                        "implies --backend par (default: all usable CPUs "
+                        "when --backend par is chosen explicitly)")
 
     e = sub.add_parser("enumerate", help="list (p,q)-bicliques")
     add_graph_args(e)
@@ -102,9 +107,14 @@ def _load(args) -> object:
 
 
 def _cmd_count(args) -> int:
+    if args.workers is not None and args.backend == "sim":
+        print("error: --workers needs the parallel engine; drop "
+              "--backend sim or use --backend par", file=sys.stderr)
+        return 2
     graph = _load(args)
     query = BicliqueQuery(args.p, args.q)
-    result = run_method(args.method, graph, query, backend=args.backend)
+    result = run_method(args.method, graph, query, backend=args.backend,
+                        workers=args.workers)
     simulated = isinstance(result, DeviceRunResult) \
         and result.backend_instrumented
     print(f"graph: {graph}")

@@ -19,19 +19,22 @@ import numpy as np
 from repro.core.counts import BicliqueQuery, CountResult
 from repro.engine.base import KernelBackend, resolve_backend
 from repro.graph.bipartite import BipartiteGraph, LAYER_U
-from repro.graph.twohop import build_two_hop_index
+from repro.graph.twohop import TwoHopIndex, build_two_hop_index
 
 __all__ = ["basic_count"]
 
 
-def basic_count(graph: BipartiteGraph, query: BicliqueQuery,
-                backend: KernelBackend | str | None = None) -> CountResult:
-    """Count (p, q)-bicliques with the Basic model (anchor fixed on U)."""
-    engine = resolve_backend(backend)
-    start = time.perf_counter()
-    p, q = query.p, query.q
-    ids = np.arange(graph.num_u, dtype=np.int64)
-    index = build_two_hop_index(graph, LAYER_U, q, min_priority_rank=ids)
+def _root_total(graph: BipartiteGraph, index: TwoHopIndex, root: int,
+                p: int, q: int, engine: KernelBackend) -> int:
+    """Bicliques of the search tree rooted at ``root`` (id-order model)."""
+    cr0 = graph.neighbors(LAYER_U, root)
+    if len(cr0) < q:
+        return 0
+    if p == 1:
+        return comb(len(cr0), q)
+    cl0 = index.of(root)
+    if len(cl0) < p - 1:
+        return 0
     total = 0
 
     def rec(depth: int, cl: np.ndarray, cr: np.ndarray) -> None:
@@ -49,17 +52,36 @@ def basic_count(graph: BipartiteGraph, query: BicliqueQuery,
                 continue
             rec(depth + 1, new_cl, new_cr)
 
-    for root in range(graph.num_u):
-        cr0 = graph.neighbors(LAYER_U, root)
-        if len(cr0) < q:
-            continue
-        if p == 1:
-            total += comb(len(cr0), q)
-            continue
-        cl0 = index.of(root)
-        if len(cl0) < p - 1:
-            continue
-        rec(1, cl0, cr0)
+    rec(1, cl0, cr0)
+    return total
+
+
+def basic_count(graph: BipartiteGraph, query: BicliqueQuery,
+                backend: KernelBackend | str | None = None,
+                workers: int | None = None) -> CountResult:
+    """Count (p, q)-bicliques with the Basic model (anchor fixed on U).
+
+    With the parallel engine (``backend="par"`` or ``workers=``) the root
+    set is sharded over worker processes; the count is identical for any
+    worker count.
+    """
+    engine = resolve_backend(backend, workers=workers)
+    start = time.perf_counter()
+    p, q = query.p, query.q
+    ids = np.arange(graph.num_u, dtype=np.int64)
+    index = build_two_hop_index(graph, LAYER_U, q, min_priority_rank=ids)
+
+    def count_chunk(roots) -> int:
+        return sum(_root_total(graph, index, int(r), p, q, engine)
+                   for r in roots)
+
+    if engine.parallel:
+        weights = np.diff(index.offsets).astype(np.float64)
+        total = sum(part for _, part in
+                    engine.map_shards(count_chunk, graph.num_u,
+                                      weights=weights))
+    else:
+        total = count_chunk(range(graph.num_u))
 
     return CountResult(
         algorithm="Basic",

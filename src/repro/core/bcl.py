@@ -121,35 +121,88 @@ def _prepare(graph: BipartiteGraph, query: BicliqueQuery,
     return g, p, q, anchored, order, index
 
 
+def _enumerate_chunk(g: BipartiteGraph, index: TwoHopIndex,
+                     roots: list[int], p: int, q: int,
+                     engine: KernelBackend, instrument: bool) -> BCLProfile:
+    """Enumerate a chunk of roots into a fresh partial profile."""
+    part = BCLProfile()
+    for root in roots:
+        r0 = time.perf_counter()
+        got = _enumerate_root(g, index, root, p, q, part, engine, instrument)
+        part.per_root_seconds.append(time.perf_counter() - r0)
+        part.per_root_counts.append(got)
+        part.root_ids.append(root)
+    return part
+
+
+def _run_roots(g: BipartiteGraph, index: TwoHopIndex, order,
+               p: int, q: int, engine: KernelBackend, instrument: bool,
+               profile: BCLProfile) -> int:
+    """Enumerate every promising root into ``profile``; returns the count.
+
+    On a parallel engine the promising roots are sharded over worker
+    processes (weights: second-level sizes, the paper's edge-oriented
+    proxy) and the partial profiles are scattered back into priority
+    order, so per-root data and the total are independent of worker
+    count and scheduling.
+    """
+    selected = [int(root) for root in order
+                if not (p > 1 and index.size(int(root)) < p - 1)]
+
+    if engine.parallel and selected:
+        weights = np.asarray([index.size(r) for r in selected],
+                             dtype=np.float64)
+        n = len(selected)
+        secs, cnts = [0.0] * n, [0] * n
+        for idxs, part in engine.map_shards(
+                lambda idxs: _enumerate_chunk(
+                    g, index, [selected[i] for i in idxs], p, q,
+                    engine, instrument),
+                n, weights=weights):
+            profile.seconds_one_hop += part.seconds_one_hop
+            profile.seconds_two_hop += part.seconds_two_hop
+            profile.comparisons_one_hop += part.comparisons_one_hop
+            profile.comparisons_two_hop += part.comparisons_two_hop
+            for pos, i in enumerate(idxs):
+                secs[i] = part.per_root_seconds[pos]
+                cnts[i] = part.per_root_counts[pos]
+        profile.per_root_seconds.extend(secs)
+        profile.per_root_counts.extend(cnts)
+        profile.root_ids.extend(selected)
+        return sum(cnts)
+
+    part = _enumerate_chunk(g, index, selected, p, q, engine, instrument)
+    profile.seconds_one_hop += part.seconds_one_hop
+    profile.seconds_two_hop += part.seconds_two_hop
+    profile.comparisons_one_hop += part.comparisons_one_hop
+    profile.comparisons_two_hop += part.comparisons_two_hop
+    profile.per_root_seconds.extend(part.per_root_seconds)
+    profile.per_root_counts.extend(part.per_root_counts)
+    profile.root_ids.extend(part.root_ids)
+    return sum(part.per_root_counts)
+
+
 def bcl_count(graph: BipartiteGraph, query: BicliqueQuery,
               layer: str | None = None,
               backend: KernelBackend | str | None = None,
-              instrument: bool | None = None) -> CountResult:
+              instrument: bool | None = None,
+              workers: int | None = None) -> CountResult:
     """Run BCL and return the exact count.
 
     ``instrument`` controls the per-call Fig. 1(b) timers and comparison
     cells; it defaults to the backend's ``instrumented`` flag (on for the
     simulated engine, off for the fast one), so an uninstrumented run
-    reports an empty breakdown but an identical count.
+    reports an empty breakdown but an identical count.  With the parallel
+    engine (``backend="par"`` or ``workers=``) the promising roots are
+    sharded over worker processes — the count is identical regardless.
     """
-    engine = resolve_backend(backend)
+    engine = resolve_backend(backend, workers=workers)
     if instrument is None:
         instrument = engine.instrumented
     profile = BCLProfile()
     start = time.perf_counter()
     g, p, q, anchored, order, index = _prepare(graph, query, layer, profile)
-    total = 0
-    for root in order:
-        root = int(root)
-        if index.size(root) < p - 1 and p > 1:
-            continue  # unpromising root (§III-B filter)
-        r0 = time.perf_counter()
-        got = _enumerate_root(g, index, root, p, q, profile, engine,
-                              instrument)
-        profile.per_root_seconds.append(time.perf_counter() - r0)
-        profile.per_root_counts.append(got)
-        profile.root_ids.append(root)
-        total += got
+    total = _run_roots(g, index, order, p, q, engine, instrument, profile)
     profile.seconds_total = time.perf_counter() - start
     breakdown = {
         "comp_s_seconds": profile.seconds_two_hop,
@@ -177,28 +230,20 @@ def bcl_count(graph: BipartiteGraph, query: BicliqueQuery,
 def bcl_per_root_profile(graph: BipartiteGraph, query: BicliqueQuery,
                          layer: str | None = None,
                          backend: KernelBackend | str | None = None,
-                         instrument: bool | None = None) -> BCLProfile:
+                         instrument: bool | None = None,
+                         workers: int | None = None) -> BCLProfile:
     """Run BCL and return the full per-root profile (BCLP's input).
 
     Per-root wall times are always collected (they are the profile's
     purpose); the per-call breakdown follows ``instrument`` as in
     :func:`bcl_count`.
     """
-    engine = resolve_backend(backend)
+    engine = resolve_backend(backend, workers=workers)
     if instrument is None:
         instrument = engine.instrumented
     profile = BCLProfile()
     start = time.perf_counter()
     g, p, q, _, order, index = _prepare(graph, query, layer, profile)
-    for root in order:
-        root = int(root)
-        if index.size(root) < p - 1 and p > 1:
-            continue
-        r0 = time.perf_counter()
-        got = _enumerate_root(g, index, root, p, q, profile, engine,
-                              instrument)
-        profile.per_root_seconds.append(time.perf_counter() - r0)
-        profile.per_root_counts.append(got)
-        profile.root_ids.append(root)
+    _run_roots(g, index, order, p, q, engine, instrument, profile)
     profile.seconds_total = time.perf_counter() - start
     return profile

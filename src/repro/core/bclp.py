@@ -46,9 +46,20 @@ def schedule_makespan(costs: list[float], threads: int) -> float:
 def bclp_count(graph, query: BicliqueQuery,
                threads: int = DEFAULT_THREADS,
                layer: str | None = None,
-               backend: KernelBackend | str | None = None) -> CountResult:
-    """BCLP: BCL's per-root work list-scheduled over ``threads`` threads."""
-    engine = resolve_backend(backend)
+               backend: KernelBackend | str | None = None,
+               workers: int | None = None) -> CountResult:
+    """BCLP: BCL's per-root work list-scheduled over ``threads`` threads.
+
+    ``threads`` is the *modelled* thread count of the paper's CPU
+    parallelisation; ``workers`` (or ``backend="par"``) additionally runs
+    the underlying per-root measurement over real worker processes.
+    Counts are unchanged, but the per-root timings are then measured
+    under multi-process contention, so the modelled timing figures
+    (``wall_seconds``, ``sequential_seconds``, ``speedup_vs_sequential``)
+    are only comparable between runs of the same mode — use a serial
+    backend when reproducing the paper's BCLP timings.
+    """
+    engine = resolve_backend(backend, workers=workers)
     start = time.perf_counter()
     profile = bcl_per_root_profile(graph, query, layer, backend=engine)
     sequential = sum(profile.per_root_seconds)

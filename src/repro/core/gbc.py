@@ -254,11 +254,33 @@ class _RootKernel:
             self._run_csr(root, p, q)
 
 
+def _gbc_chunk_kernel(inputs, positions, spec: DeviceSpec, opts: GBCOptions,
+                      engine: KernelBackend, htb1: HTB | None,
+                      htb2: HTB | None
+                      ) -> tuple[int, list[float], KernelMetrics, int]:
+    """Run the per-root kernel over a chunk of root positions."""
+    total = 0
+    cycles: list[float] = []
+    agg = KernelMetrics()
+    peak_words = 0
+    for pos in positions:
+        kernel = _RootKernel(inputs=inputs, spec=spec, opts=opts,
+                             engine=engine, htb1=htb1, htb2=htb2,
+                             metrics=engine.new_metrics())
+        kernel.run(int(inputs.roots[pos]), inputs.p, inputs.q)
+        total += kernel.total
+        cycles.append(effective_cycles(kernel.metrics, spec))
+        agg.merge(kernel.metrics)
+        peak_words = max(peak_words, kernel.working.peak)
+    return total, cycles, agg, peak_words
+
+
 def gbc_count(graph: BipartiteGraph, query: BicliqueQuery,
               spec: DeviceSpec | None = None,
               options: GBCOptions | None = None,
               layer: str | None = None,
-              backend: KernelBackend | str | None = None) -> DeviceRunResult:
+              backend: KernelBackend | str | None = None,
+              workers: int | None = None) -> DeviceRunResult:
     """Count (p, q)-bicliques with GBC on the simulated device.
 
     Returns a :class:`DeviceRunResult` whose ``breakdown`` carries the
@@ -266,9 +288,11 @@ def gbc_count(graph: BipartiteGraph, query: BicliqueQuery,
     utilisation/imbalance diagnostics used across §VII.  With
     ``backend="fast"`` the count is identical but all device accounting
     (metrics, makespan, device seconds) stays zero — use ``wall_seconds``.
+    With ``backend="par"`` (or ``workers=``) the root set additionally
+    shards over worker processes, merged deterministically.
     """
     spec = spec or rtx_3090()
-    engine = resolve_backend(backend, spec)
+    engine = resolve_backend(backend, spec, workers=workers)
     opts = options or GBCOptions()
     wall0 = time.perf_counter()
     inputs = prepare_device_inputs(graph, query, layer)
@@ -282,22 +306,28 @@ def gbc_count(graph: BipartiteGraph, query: BicliqueQuery,
         htb2 = htb_from_two_hop(inputs.index)
         htb_seconds = time.perf_counter() - t0
 
-    total = 0
-    per_root_cycles: list[float] = []
-    agg = KernelMetrics()
-    peak_words = 0
-    for root in inputs.roots:
-        kernel = _RootKernel(inputs=inputs, spec=spec, opts=opts,
-                             engine=engine, htb1=htb1, htb2=htb2,
-                             metrics=engine.new_metrics())
-        kernel.run(int(root), inputs.p, inputs.q)
-        total += kernel.total
-        per_root_cycles.append(effective_cycles(kernel.metrics, spec))
-        agg.merge(kernel.metrics)
-        peak_words = max(peak_words, kernel.working.peak)
-
     weights = np.asarray([inputs.index.size(int(r)) for r in inputs.roots],
                          dtype=np.float64)
+    total = 0
+    per_root_cycles = [0.0] * len(inputs.roots)
+    agg = KernelMetrics()
+    peak_words = 0
+    if engine.parallel:
+        for idxs, part in engine.map_shards(
+                lambda idxs: _gbc_chunk_kernel(inputs, idxs, spec, opts,
+                                               engine, htb1, htb2),
+                len(inputs.roots), weights=weights):
+            part_total, part_cycles, part_agg, part_peak = part
+            total += part_total
+            agg.merge(part_agg)
+            peak_words = max(peak_words, part_peak)
+            for pos, i in enumerate(idxs):
+                per_root_cycles[i] = part_cycles[pos]
+    else:
+        total, per_root_cycles, agg, peak_words = _gbc_chunk_kernel(
+            inputs, range(len(inputs.roots)), spec, opts, engine,
+            htb1, htb2)
+
     assignment = assign_roots_to_blocks(inputs.roots, weights, blocks,
                                         opts.balance)
     costs = [[per_root_cycles[i] for i in blk] for blk in assignment]

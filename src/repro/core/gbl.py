@@ -66,29 +66,52 @@ def _gbl_root_kernel(inputs, root: int, spec: DeviceSpec,
     return total, metrics
 
 
+def _gbl_chunk_kernel(inputs, positions, spec: DeviceSpec,
+                      engine: KernelBackend
+                      ) -> tuple[int, list[float], KernelMetrics]:
+    """Run the per-root kernel over a chunk of root positions."""
+    total = 0
+    cycles: list[float] = []
+    agg = KernelMetrics()
+    for pos in positions:
+        got, metrics = _gbl_root_kernel(inputs, int(inputs.roots[pos]),
+                                        spec, engine)
+        total += got
+        cycles.append(effective_cycles(metrics, spec))
+        agg.merge(metrics)
+    return total, cycles, agg
+
+
 def gbl_count(graph: BipartiteGraph, query: BicliqueQuery,
               spec: DeviceSpec | None = None,
               layer: str | None = None,
               num_blocks: int | None = None,
-              backend: KernelBackend | str | None = None) -> DeviceRunResult:
+              backend: KernelBackend | str | None = None,
+              workers: int | None = None) -> DeviceRunResult:
     """Count (p, q)-bicliques with the GPU baseline on the simulator."""
     spec = spec or rtx_3090()
-    engine = resolve_backend(backend, spec)
+    engine = resolve_backend(backend, spec, workers=workers)
     wall0 = time.perf_counter()
     inputs = prepare_device_inputs(graph, query, layer)
     blocks = num_blocks or spec.blocks_per_launch
 
-    total = 0
-    per_root_cycles: list[float] = []
-    agg = KernelMetrics()
-    for root in inputs.roots:
-        got, metrics = _gbl_root_kernel(inputs, int(root), spec, engine)
-        total += got
-        per_root_cycles.append(effective_cycles(metrics, spec))
-        agg.merge(metrics)
-
     weights = np.asarray([inputs.index.size(int(r)) for r in inputs.roots],
                          dtype=np.float64)
+    total = 0
+    per_root_cycles = [0.0] * len(inputs.roots)
+    agg = KernelMetrics()
+    if engine.parallel:
+        for idxs, (part_total, part_cycles, part_agg) in engine.map_shards(
+                lambda idxs: _gbl_chunk_kernel(inputs, idxs, spec, engine),
+                len(inputs.roots), weights=weights):
+            total += part_total
+            agg.merge(part_agg)
+            for pos, i in enumerate(idxs):
+                per_root_cycles[i] = part_cycles[pos]
+    else:
+        total, per_root_cycles, agg = _gbl_chunk_kernel(
+            inputs, range(len(inputs.roots)), spec, engine)
+
     assignment = assign_roots_to_blocks(inputs.roots, weights, blocks,
                                         "interleave")
     costs = [[per_root_cycles[i] for i in blk] for blk in assignment]

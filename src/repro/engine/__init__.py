@@ -1,18 +1,22 @@
 """Unified kernel-backend layer: pluggable execution engines.
 
 Planning/definition (which sets intersect, in which order) lives in
-:mod:`repro.core`; measured execution lives here.  Two engines ship:
+:mod:`repro.core`; measured execution lives here.  Three engines ship:
 
 * ``"sim"`` — :class:`SimulatedDeviceBackend`, the instrumented simulated
   GPU every paper figure is measured with;
 * ``"fast"`` — :class:`FastBackend`, raw vectorised NumPy with all
-  instrumentation compiled out.
+  instrumentation compiled out;
+* ``"par"`` — :class:`ParallelBackend`, the fast kernels sharded over
+  forked worker processes with deterministic merging (counts identical
+  to a serial fast run for any worker count).
 
 Select one via the ``backend=`` argument of any counting entry point, the
-``--backend`` CLI flag, or construct an engine directly::
+``--backend``/``--workers`` CLI flags, or construct an engine directly::
 
-    from repro import FastBackend, gbc_count
+    from repro import FastBackend, ParallelBackend, gbc_count
     result = gbc_count(graph, query, backend=FastBackend())
+    sharded = gbc_count(graph, query, backend=ParallelBackend(workers=4))
 """
 
 from repro.engine.base import (
@@ -22,9 +26,10 @@ from repro.engine.base import (
     resolve_backend,
 )
 from repro.engine.fast import FastBackend
+from repro.engine.parallel import ParallelBackend
 from repro.engine.simulated import SimulatedDeviceBackend
 
 __all__ = [
     "KernelBackend", "SimulatedDeviceBackend", "FastBackend",
-    "BACKEND_NAMES", "get_backend", "resolve_backend",
+    "ParallelBackend", "BACKEND_NAMES", "get_backend", "resolve_backend",
 ]

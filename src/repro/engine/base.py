@@ -15,12 +15,16 @@ search (which sets intersect, in which order) is separated from its
   and table that plots device metrics.
 * :class:`repro.engine.fast.FastBackend` — pure vectorised NumPy with all
   timing, comparison counting and transaction charging compiled out; the
-  speed path for large graphs, and the template for future real-GPU
-  (CuPy) or multiprocess engines.
+  speed path for large graphs.
+* :class:`repro.engine.parallel.ParallelBackend` — the fast kernels
+  sharded over forked worker processes; counts stay bit-identical to a
+  serial fast run while the root set executes in parallel.
 
 Algorithms accept ``backend=`` as an instance, a registry name (``"sim"``
-/ ``"fast"``), or ``None`` (default: simulated, preserving the historical
-behaviour of every entry point).
+/ ``"fast"`` / ``"par"``), or ``None`` (default: simulated, preserving
+the historical behaviour of every entry point).  Passing ``workers=``
+to :func:`resolve_backend` selects the parallel engine with that many
+processes.
 """
 
 from __future__ import annotations
@@ -39,7 +43,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = ["KernelBackend", "BACKEND_NAMES", "get_backend", "resolve_backend"]
 
-BACKEND_NAMES = ("sim", "fast")
+BACKEND_NAMES = ("sim", "fast", "par")
 
 
 class KernelBackend(ABC):
@@ -55,6 +59,10 @@ class KernelBackend(ABC):
     #: whether timers and device metrics collected through this backend
     #: are live (False means every sink hook is a no-op)
     instrumented: bool = False
+    #: whether this backend shards per-root work over worker processes —
+    #: the counting drivers route their root loop through ``map_shards``
+    #: when set (see :class:`repro.engine.parallel.ParallelBackend`)
+    parallel: bool = False
 
     # -- kernel primitives ---------------------------------------------
     @abstractmethod
@@ -108,27 +116,55 @@ class KernelBackend(ABC):
         """Track the largest shared-memory footprint seen."""
 
 
-def get_backend(name: str, spec: "DeviceSpec | None" = None) -> KernelBackend:
-    """Construct a backend by registry name (``"sim"`` or ``"fast"``)."""
+def get_backend(name: str, spec: "DeviceSpec | None" = None,
+                workers: int | None = None) -> KernelBackend:
+    """Construct a backend by registry name (``"sim"``/``"fast"``/``"par"``).
+
+    ``workers`` applies to the parallel engine only (``None`` lets it
+    default to the usable CPU count).
+    """
     from repro.engine.fast import FastBackend
+    from repro.engine.parallel import ParallelBackend
     from repro.engine.simulated import SimulatedDeviceBackend
 
     if name == "sim":
         return SimulatedDeviceBackend(spec)
     if name == "fast":
         return FastBackend()
+    if name == "par":
+        return ParallelBackend(workers)
     raise QueryError(f"unknown kernel backend {name!r}; "
                      f"expected one of {BACKEND_NAMES}")
 
 
 def resolve_backend(backend: "KernelBackend | str | None",
-                    spec: "DeviceSpec | None" = None) -> KernelBackend:
-    """Normalise a ``backend=`` argument to a :class:`KernelBackend`.
+                    spec: "DeviceSpec | None" = None,
+                    workers: int | None = None) -> KernelBackend:
+    """Normalise ``backend=``/``workers=`` arguments to a :class:`KernelBackend`.
 
     ``None`` resolves to the simulated engine (the historical default of
     every algorithm), a string goes through :func:`get_backend`, and an
     instance is returned as-is — its own device spec wins over ``spec``.
+
+    A non-``None`` ``workers`` requests sharded multi-process execution:
+    it upgrades ``None``, ``"fast"``, ``"par"`` (or instances of their
+    engines) to a :class:`~repro.engine.parallel.ParallelBackend` with
+    that worker count.  The simulated engine's accounting is inherently
+    serial, so combining it with ``workers`` is an error.
     """
+    if workers is not None:
+        from repro.engine.fast import FastBackend
+        from repro.engine.parallel import ParallelBackend
+
+        if isinstance(backend, ParallelBackend):
+            return backend if backend.workers == int(workers) \
+                else backend.with_workers(int(workers))
+        if backend is None or backend in ("fast", "par") \
+                or isinstance(backend, FastBackend):
+            return ParallelBackend(workers)
+        raise QueryError(
+            f"workers={workers!r} requires the parallel engine "
+            f"(backend=None, 'fast' or 'par'); got {backend!r}")
     if backend is None:
         backend = "sim"
     if isinstance(backend, str):

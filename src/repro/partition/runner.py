@@ -163,7 +163,8 @@ def run_partitioned_count(graph: BipartiteGraph, query: BicliqueQuery,
                           initial_words: list[int],
                           weights: np.ndarray,
                           method: str,
-                          backend: KernelBackend | str | None = None
+                          backend: KernelBackend | str | None = None,
+                          workers: int | None = None
                           ) -> PartitionRunReport:
     """Count over explicit root groups with explicit residency sets.
 
@@ -172,19 +173,47 @@ def run_partitioned_count(graph: BipartiteGraph, query: BicliqueQuery,
     ``report.comparisons`` at zero and the derived compute/throughput
     figures reflect PCIe transfer time only — counts and transfer words
     stay exact either way.
+
+    With the parallel engine (``backend="par"`` or ``workers=``) the
+    (partition, root) pairs are sharded over worker processes — roots of
+    different partitions may execute concurrently, and every count and
+    transfer-word field merges by exact integer sum, so the report is
+    identical for any worker count.
     """
-    engine = resolve_backend(backend)
+    engine = resolve_backend(backend, workers=workers)
     t0 = time.perf_counter()
     rank = priority_rank(graph, LAYER_U, query.q)
     index = build_two_hop_index(graph, LAYER_U, query.q,
                                 min_priority_rank=rank)
     report = PartitionRunReport(method=method, query=query,
                                 num_partitions=len(root_groups))
-    for gid, roots in enumerate(root_groups):
+    for gid in range(len(root_groups)):
         report.initial_transfer_words += int(initial_words[gid])
-        for root in roots:
-            _enumerate_root(graph, index, int(root), query.p, query.q,
-                            owner, residency[gid], weights, report, engine)
+    tasks = [(gid, int(root))
+             for gid, roots in enumerate(root_groups) for root in roots]
+
+    def enumerate_chunk(idxs) -> PartitionRunReport:
+        part = PartitionRunReport(method=method, query=query)
+        for i in idxs:
+            gid, root = tasks[i]
+            _enumerate_root(graph, index, root, query.p, query.q,
+                            owner, residency[gid], weights, part, engine)
+        return part
+
+    if engine.parallel and tasks:
+        task_weights = np.asarray([float(weights[root])
+                                   for _, root in tasks], dtype=np.float64)
+        partials = [part for _, part in
+                    engine.map_shards(enumerate_chunk, len(tasks),
+                                      weights=task_weights)]
+    else:
+        partials = [enumerate_chunk(range(len(tasks)))]
+    for part in partials:
+        report.total_count += part.total_count
+        report.intra_count += part.intra_count
+        report.inter_count += part.inter_count
+        report.comparisons += part.comparisons
+        report.on_demand_transfer_words += part.on_demand_transfer_words
     report.wall_seconds = time.perf_counter() - t0
     return report
 
@@ -200,7 +229,8 @@ def _owner_from_groups(n: int, groups: list[list[int]]) -> np.ndarray:
 def run_bcpar(graph: BipartiteGraph, query: BicliqueQuery,
               budget_words: int,
               spec: DeviceSpec | None = None,
-              backend: KernelBackend | str | None = None
+              backend: KernelBackend | str | None = None,
+              workers: int | None = None
               ) -> tuple[PartitionRunReport, PartitionSet]:
     """Partition with BCPar and count; returns (report, partition set).
 
@@ -215,14 +245,15 @@ def run_bcpar(graph: BipartiteGraph, query: BicliqueQuery,
     initial = [p.cost_words for p in pset.partitions]
     report = run_partitioned_count(graph, query, groups, owner, residency,
                                    initial, pset.weights, method="BCPar",
-                                   backend=backend)
+                                   backend=backend, workers=workers)
     return report, pset
 
 
 def run_metis_like(graph: BipartiteGraph, query: BicliqueQuery,
                    num_parts: int,
                    spec: DeviceSpec | None = None,
-                   backend: KernelBackend | str | None = None
+                   backend: KernelBackend | str | None = None,
+                   workers: int | None = None
                    ) -> tuple[PartitionRunReport, MetisLikeResult]:
     """Partition with the METIS-like baseline and count."""
     full_index = build_two_hop_index(graph, LAYER_U, query.q)
@@ -235,5 +266,5 @@ def run_metis_like(graph: BipartiteGraph, query: BicliqueQuery,
     initial = [int(weights[g].sum()) if len(g) else 0 for g in groups]
     report = run_partitioned_count(graph, query, groups, owner, residency,
                                    initial, weights, method="METIS-like",
-                                   backend=backend)
+                                   backend=backend, workers=workers)
     return report, mres

@@ -76,3 +76,6 @@ def query_32():
 def pytest_addoption(parser):
     parser.addoption("--bench-scale", action="store", default="bench",
                      help="dataset scale for benchmark runs (tiny/bench/full)")
+    parser.addoption("--update-golden", action="store_true", default=False,
+                     help="re-pin tests/golden/golden_counts.json from the "
+                          "current engines instead of asserting against it")

@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.incremental import DynamicButterflyCounter
 from repro.errors import GraphValidationError
@@ -70,3 +72,73 @@ class TestDynamicButterflies:
         counter.insert(0, 0)
         counter.insert(1, 1)
         assert counter.updates_applied == 2
+
+
+@st.composite
+def update_sequences(draw):
+    """Layer sizes plus an arbitrary stream of (u, v) update targets."""
+    num_u = draw(st.integers(2, 6))
+    num_v = draw(st.integers(2, 6))
+    ops = draw(st.lists(
+        st.tuples(st.integers(0, num_u - 1), st.integers(0, num_v - 1)),
+        min_size=1, max_size=40))
+    return num_u, num_v, ops
+
+
+class TestDynamicButterflyProperties:
+    """Randomized update sequences against recount-from-scratch — the
+    streaming-maintenance invariant ([37]/[40]) the counter exists for."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(update_sequences())
+    def test_toggle_sequence_matches_recount(self, seq):
+        """Interleaved inserts and deletes (toggle each touched pair)
+        keep the maintained count equal to an exact recount at every
+        step."""
+        num_u, num_v, ops = seq
+        counter = DynamicButterflyCounter.empty(num_u, num_v)
+        for u, v in ops:
+            if counter.has_edge(u, v):
+                destroyed = counter.delete(u, v)
+                assert destroyed >= 0
+            else:
+                created = counter.insert(u, v)
+                assert created >= 0
+            assert counter.butterflies == counter.recount()
+
+    @settings(max_examples=25, deadline=None)
+    @given(update_sequences())
+    def test_delete_then_reinsert_roundtrip(self, seq):
+        """Deleting any present edge and reinserting it restores the
+        count, and both updates report the same delta."""
+        num_u, num_v, ops = seq
+        counter = DynamicButterflyCounter.empty(num_u, num_v)
+        for u, v in ops:
+            if not counter.has_edge(u, v):
+                counter.insert(u, v)
+        edges = [(u, v) for u in range(num_u) for v in counter.adj_u[u]]
+        for u, v in edges:
+            before = counter.butterflies
+            destroyed = counter.delete(u, v)
+            recreated = counter.insert(u, v)
+            assert destroyed == recreated
+            assert counter.butterflies == before
+        assert counter.butterflies == counter.recount()
+
+    @settings(max_examples=25, deadline=None)
+    @given(update_sequences(), st.integers(0, 2 ** 31 - 1))
+    def test_teardown_to_empty(self, seq, seed):
+        """Deleting every edge in random order ends at zero butterflies,
+        matching recount at each step."""
+        num_u, num_v, ops = seq
+        counter = DynamicButterflyCounter.empty(num_u, num_v)
+        for u, v in ops:
+            if not counter.has_edge(u, v):
+                counter.insert(u, v)
+        edges = [(u, v) for u in range(num_u) for v in counter.adj_u[u]]
+        rng = np.random.default_rng(seed)
+        rng.shuffle(edges)
+        for u, v in edges:
+            counter.delete(u, v)
+            assert counter.butterflies == counter.recount()
+        assert counter.butterflies == 0

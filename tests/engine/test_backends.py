@@ -35,11 +35,14 @@ def _sorted_unique(rng, n, hi):
 
 class TestRegistry:
     def test_names(self):
-        assert set(BACKEND_NAMES) == {"sim", "fast"}
+        assert set(BACKEND_NAMES) == {"sim", "fast", "par"}
 
     def test_get_backend(self):
+        from repro.engine import ParallelBackend
+
         assert isinstance(get_backend("sim"), SimulatedDeviceBackend)
         assert isinstance(get_backend("fast"), FastBackend)
+        assert isinstance(get_backend("par", workers=2), ParallelBackend)
         with pytest.raises(QueryError):
             get_backend("cuda")
 

@@ -1,0 +1,62 @@
+"""The golden-count store: pinned fixed-seed counts for every engine.
+
+``golden_counts.json`` holds one pinned biclique count per
+(graph shape, query) cell.  Every (algorithm, backend) pair must
+reproduce it exactly — any silent count drift in a future engine fails
+here first.  Re-pin after an *intentional* semantic change with::
+
+    python -m pytest tests/golden --update-golden
+
+Update mode still cross-checks: if two engines disagree during the same
+re-pin session, the run fails instead of pinning either value.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+GOLDEN_PATH = Path(__file__).parent / "golden_counts.json"
+
+
+class GoldenStore:
+    """Assert-or-repin access to the pinned counts."""
+
+    def __init__(self, path: Path, update: bool) -> None:
+        self.path = path
+        self.update = update
+        self.data: dict[str, int] = {}
+        if path.exists():
+            self.data = json.loads(path.read_text(encoding="utf-8"))
+        self.session_values: dict[str, tuple[int, str]] = {}
+
+    def check(self, key: str, value: int, source: str) -> None:
+        if key in self.session_values:
+            prior, prior_source = self.session_values[key]
+            assert value == prior, (
+                f"engines disagree on {key}: {prior_source} found {prior}, "
+                f"{source} found {value}")
+        else:
+            self.session_values[key] = (value, source)
+        if self.update:
+            if self.data.get(key) != value:
+                self.data[key] = value
+                self.path.write_text(
+                    json.dumps(self.data, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+            return
+        assert key in self.data, (
+            f"no golden count pinned for {key}; run "
+            f"`python -m pytest tests/golden --update-golden`")
+        assert value == self.data[key], (
+            f"count drift on {key}: {source} found {value}, "
+            f"golden is {self.data[key]}")
+
+
+@pytest.fixture(scope="session")
+def golden(request) -> GoldenStore:
+    return GoldenStore(GOLDEN_PATH,
+                       bool(request.config.getoption("--update-golden",
+                                                     default=False)))

@@ -60,6 +60,52 @@ class TestMetisLikeRun:
         assert report.inter_count == 0
 
 
+class TestCrossBackendMetamorphic:
+    """Partitioned totals are invariant under the execution engine:
+    identical across sim/fast/par, across worker counts, and for both
+    partitioners — only the accounting may differ."""
+
+    BACKENDS = ("sim", "fast", "par")
+
+    @staticmethod
+    def _signature(report):
+        return (report.total_count, report.intra_count, report.inter_count,
+                report.initial_transfer_words,
+                report.on_demand_transfer_words, report.num_partitions)
+
+    def test_bcpar_backends_agree(self, graph, query, truth):
+        signatures = set()
+        for backend in self.BACKENDS:
+            report, _ = run_bcpar(graph, query, budget_words=1200,
+                                  backend=backend)
+            signatures.add(self._signature(report))
+            assert report.total_count == truth
+        assert len(signatures) == 1
+
+    def test_metis_backends_agree(self, graph, query, truth):
+        signatures = set()
+        for backend in self.BACKENDS:
+            report, _ = run_metis_like(graph, query, num_parts=4,
+                                       backend=backend)
+            signatures.add(self._signature(report))
+            assert report.total_count == truth
+        assert len(signatures) == 1
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_worker_count_invariance(self, graph, query, truth, workers):
+        bc, _ = run_bcpar(graph, query, budget_words=1200,
+                          backend="par", workers=workers)
+        me, _ = run_metis_like(graph, query, num_parts=4,
+                               backend="par", workers=workers)
+        assert bc.total_count == me.total_count == truth
+
+    def test_par_comparisons_uninstrumented(self, graph, query):
+        """Like fast, the parallel engine charges no comparisons."""
+        report, _ = run_bcpar(graph, query, budget_words=1200,
+                              backend="par", workers=2)
+        assert report.comparisons == 0
+
+
 class TestThroughputComparison:
     def test_bcpar_beats_metis(self, graph, query):
         """Fig. 10(a): BCPar throughput exceeds the METIS-like baseline."""
