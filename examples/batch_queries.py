@@ -1,0 +1,60 @@
+"""Batch queries: many (p, q) counts over one graph, prepared once.
+
+Run with::
+
+    python examples/batch_queries.py
+
+A service answering (p, q)-biclique queries pays a large fixed cost per
+graph — priority reordering, two-hop index construction, HTB
+materialisation — before counting anything.  ``GraphSession`` builds
+those structures lazily, exactly once, and ``batch_count`` amortises
+them over a whole query batch; repeated queries are served from an LRU
+result cache without recounting.
+"""
+
+from repro import (
+    BicliqueQuery,
+    GraphSession,
+    batch_count,
+    gbc_count,
+    power_law_bipartite,
+)
+
+
+def main() -> None:
+    graph = power_law_bipartite(num_u=300, num_v=200, num_edges=1100,
+                                seed=42, name="batch-demo")
+    print(f"graph: {graph}\n")
+
+    # one session owns the prepared state; the batch shares it
+    session = GraphSession(graph)
+    batch = batch_count(session, "3x3,3x4,4x4", backend="fast")
+
+    print("batch results (fast backend, shared precomputation):")
+    for query, result in zip(batch.queries, batch.results):
+        print(f"  {query}-bicliques: {result.count:>8}  "
+              f"({result.wall_seconds * 1e3:.1f} ms)")
+
+    s = batch.stats
+    print(f"\nbuilt once for the whole batch: {s.wedge_builds} wedge "
+          f"pass, {s.order_builds} reorder permutation(s), "
+          f"{s.index_builds} two-hop index(es), "
+          f"{s.htb_adj_builds + s.htb_two_hop_builds} HTB(s)")
+
+    # every batched count is identical to its single-query equivalent
+    for query, result in zip(batch.queries, batch.results):
+        single = gbc_count(graph, query, backend="fast")
+        assert result.count == single.count, query
+    print("verified: every batched count equals its single-query run")
+
+    # a warm session answers repeats from the result cache
+    again = batch_count(session, ["3x4", "4x4", BicliqueQuery(3, 3)],
+                        backend="fast")
+    print(f"\nsecond batch on the warm session: {again.cache_hits} cache "
+          f"hit(s), {again.cache_misses} miss(es)")
+    assert again.cache_hits == 3 and again.cache_misses == 0
+    assert sorted(again.counts) == sorted(batch.counts)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,21 +1,31 @@
 """repro — reproduction of "Accelerating Biclique Counting on GPU" (ICDE'24).
 
-Public API quickstart::
+Public API quickstart:
 
-    from repro import BicliqueQuery, gbc_count, random_bipartite
-
-    g = random_bipartite(num_u=200, num_v=150, num_edges=900, seed=7)
-    result = gbc_count(g, BicliqueQuery(3, 4))
-    print(result.count, result.device_seconds)
+>>> from repro import BicliqueQuery, gbc_count, random_bipartite
+>>> g = random_bipartite(num_u=30, num_v=20, num_edges=200, seed=7)
+>>> result = gbc_count(g, BicliqueQuery(2, 3))
+>>> result.count
+528
 
 Every counting entry point accepts ``backend=`` to pick the execution
 engine: ``"sim"`` (default) runs the fully instrumented simulated device,
 ``"fast"`` runs pure vectorised NumPy with the instrumentation compiled
 out, and ``"par"`` shards the root set over forked worker processes —
-identical counts in every case::
+identical counts in every case:
 
-    fast = gbc_count(g, BicliqueQuery(3, 4), backend="fast")
-    par = gbc_count(g, BicliqueQuery(3, 4), workers=4)  # implies "par"
+>>> gbc_count(g, BicliqueQuery(2, 3), backend="fast").count
+528
+>>> gbc_count(g, BicliqueQuery(2, 3), workers=2).count  # implies "par"
+528
+
+Many queries over one graph should share their precomputation (priority
+reorder, two-hop index, HTB) through the batch engine in
+:mod:`repro.query`:
+
+>>> from repro import batch_count
+>>> batch_count(g, "2x2,2x3,3x3", backend="fast").counts
+[908, 528, 118]
 
 Packages:
 
@@ -30,7 +40,12 @@ Packages:
 * :mod:`repro.parallel` — shard orchestration for multi-process counting.
 * :mod:`repro.partition` — BCPar and the METIS-like baseline.
 * :mod:`repro.core` — the counting algorithms (Basic, BCL, BCLP, GBL, GBC).
+* :mod:`repro.query` — the batched multi-query engine (GraphSession,
+  batch_count, LRU result cache).
 * :mod:`repro.bench` — dataset stand-ins and paper experiment harness.
+
+See ``docs/ARCHITECTURE.md`` for the layer diagram and
+``docs/PAPER_MAP.md`` for the paper-to-code map.
 """
 
 from repro.core import (
@@ -71,8 +86,16 @@ from repro.graph import (
     write_edge_list,
 )
 from repro.gpu import DeviceSpec, rtx_3090, small_test_device
+from repro.query import (
+    BatchResult,
+    GraphSession,
+    ResultCache,
+    batch_count,
+    graph_fingerprint,
+    parse_queries,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -85,4 +108,6 @@ __all__ = [
     "DeviceSpec", "rtx_3090", "small_test_device",
     "KernelBackend", "SimulatedDeviceBackend", "FastBackend",
     "ParallelBackend", "BACKEND_NAMES", "get_backend", "resolve_backend",
+    "GraphSession", "BatchResult", "ResultCache", "batch_count",
+    "parse_queries", "graph_fingerprint",
 ]

@@ -70,31 +70,44 @@ def run_method(method: str, graph: BipartiteGraph, query: BicliqueQuery,
                spec: DeviceSpec | None = None,
                threads: int = 16,
                backend: KernelBackend | str | None = None,
-               workers: int | None = None) -> CountResult:
+               workers: int | None = None,
+               session=None,
+               layer: str | None = None,
+               options=None) -> CountResult:
     """Dispatch one of the paper's methods by name.
 
     ``workers`` selects sharded multi-process execution (the ``"par"``
     backend) with that many processes; see
-    :func:`repro.engine.base.resolve_backend`.
+    :func:`repro.engine.base.resolve_backend`.  ``session`` (a
+    :class:`repro.query.GraphSession` over ``graph``) lets consecutive
+    runs share the priority order, two-hop index and HTB structures.
+    ``layer`` pins the anchored layer (ignored by Basic, which always
+    anchors on U); ``options`` are GBC feature toggles — for ``GBC-*``
+    variant names they default to the named ablation.
     """
     spec = spec or rtx_3090()
     if method == "Basic":
-        return basic_count(graph, query, backend=backend, workers=workers)
+        return basic_count(graph, query, backend=backend, workers=workers,
+                           session=session)
     if method == "BCL":
-        return bcl_count(graph, query, backend=backend, workers=workers)
+        return bcl_count(graph, query, layer=layer, backend=backend,
+                         workers=workers, session=session)
     if method == "BCLP":
-        return bclp_count(graph, query, threads=threads, backend=backend,
-                          workers=workers)
+        return bclp_count(graph, query, threads=threads, layer=layer,
+                          backend=backend, workers=workers, session=session)
     if method == "GBL":
-        return gbl_count(graph, query, spec=spec, backend=backend,
-                         workers=workers)
+        return gbl_count(graph, query, spec=spec, layer=layer,
+                         backend=backend, workers=workers, session=session)
     if method == "GBC":
-        return gbc_count(graph, query, spec=spec, backend=backend,
-                         workers=workers)
+        return gbc_count(graph, query, spec=spec, options=options,
+                         layer=layer, backend=backend, workers=workers,
+                         session=session)
     if method.startswith("GBC-"):
         return gbc_count(graph, query, spec=spec,
-                         options=gbc_variant(method.split("-", 1)[1]),
-                         backend=backend, workers=workers)
+                         options=options or gbc_variant(
+                             method.split("-", 1)[1]),
+                         layer=layer, backend=backend, workers=workers,
+                         session=session)
     raise ValueError(f"unknown method {method!r}; expected one of {METHODS}")
 
 
@@ -104,18 +117,33 @@ def run_matrix(graphs: dict[str, BipartiteGraph],
                spec: DeviceSpec | None = None,
                check_agreement: bool = True,
                backend: KernelBackend | str | None = None,
-               workers: int | None = None) -> list[MethodRun]:
+               workers: int | None = None,
+               share_sessions: bool = False) -> list[MethodRun]:
     """Run every (dataset, query, method) cell; optionally cross-check
-    that all methods agree on the count (they must — all are exact)."""
+    that all methods agree on the count (they must — all are exact).
+
+    With ``share_sessions=True`` each graph gets one
+    :class:`repro.query.GraphSession`, so the reorder permutation,
+    two-hop indexes and HTBs are built once per (layer, k) and reused
+    across the whole (query, method) matrix of that graph.  It is
+    opt-in because shared preparation deflates the *wall time* of
+    whichever method runs after the structures are warm — fine for
+    correctness sweeps, wrong for paper-timing experiments that compare
+    per-method cost (counts are identical either way).
+    """
+    from repro.query import GraphSession
+
     spec = spec or rtx_3090()
     runs: list[MethodRun] = []
     for name, graph in graphs.items():
+        session = GraphSession(graph, spec=spec) if share_sessions else None
         for query in queries:
             counts: set[int] = set()
             for method in methods:
                 t0 = time.perf_counter()
                 result = run_method(method, graph, query, spec=spec,
-                                    backend=backend, workers=workers)
+                                    backend=backend, workers=workers,
+                                    session=session)
                 elapsed = time.perf_counter() - t0
                 runs.append(MethodRun(method=method, dataset=name,
                                       query=query, result=result,

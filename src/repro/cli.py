@@ -5,6 +5,7 @@ Examples::
     python -m repro count --dataset YT --scale tiny -p 3 -q 3
     python -m repro count --graph my_edges.txt -p 2 -q 2 --method BCL
     python -m repro count --dataset YT --scale bench -p 3 -q 3 --backend fast
+    python -m repro batch --dataset YT --scale tiny --queries 3x3,3x4,4x4
     python -m repro enumerate --dataset S1 --scale tiny -p 3 -q 2 --limit 5
     python -m repro estimate --dataset YT --scale bench -p 4 -q 4 --samples 32
     python -m repro datasets
@@ -26,6 +27,7 @@ from repro.engine import BACKEND_NAMES
 from repro.core.estimate import estimate_count
 from repro.graph.io import read_edge_list
 from repro.graph.stats import compute_stats
+from repro.query import batch_count
 
 __all__ = ["main", "build_parser"]
 
@@ -74,6 +76,20 @@ def build_parser() -> argparse.ArgumentParser:
                         "implies --backend par (default: all usable CPUs "
                         "when --backend par is chosen explicitly)")
 
+    b = sub.add_parser("batch",
+                       help="run many (p,q) queries with shared "
+                            "precomputation and a result cache")
+    add_graph_args(b)
+    b.add_argument("--queries", required=True, metavar="PxQ[,PxQ...]",
+                   help="comma-separated query list, e.g. 3x3,3x4,4x4")
+    b.add_argument("--method", default="GBC", choices=list(METHODS))
+    b.add_argument("--backend", default=None, choices=list(BACKEND_NAMES),
+                   help="kernel execution engine shared by the whole batch "
+                        "(default: sim, or par when --workers is given)")
+    b.add_argument("--workers", type=int, default=None, metavar="N",
+                   help="worker processes for the parallel engine; "
+                        "implies --backend par")
+
     e = sub.add_parser("enumerate", help="list (p,q)-bicliques")
     add_graph_args(e)
     e.add_argument("-p", type=int, required=True)
@@ -106,10 +122,18 @@ def _load(args) -> object:
     return load_dataset(args.dataset, args.scale)
 
 
-def _cmd_count(args) -> int:
+def _sim_with_workers(args) -> bool:
+    """The one invalid flag combination shared by count/batch: the
+    simulated engine's accounting is defined serially."""
     if args.workers is not None and args.backend == "sim":
         print("error: --workers needs the parallel engine; drop "
               "--backend sim or use --backend par", file=sys.stderr)
+        return True
+    return False
+
+
+def _cmd_count(args) -> int:
+    if _sim_with_workers(args):
         return 2
     graph = _load(args)
     query = BicliqueQuery(args.p, args.q)
@@ -127,6 +151,28 @@ def _cmd_count(args) -> int:
         print(f"memory transactions: {result.metrics.global_transactions}; "
               f"utilisation: {result.metrics.utilization * 100:.1f}%; "
               f"steals: {result.steals}")
+    return 0
+
+
+def _cmd_batch(args) -> int:
+    if _sim_with_workers(args):
+        return 2
+    graph = _load(args)
+    batch = batch_count(graph, args.queries, method=args.method,
+                        backend=args.backend, workers=args.workers)
+    rows = [[str(q), r.count, format_seconds(headline_seconds(r))]
+            for q, r in zip(batch.queries, batch.results)]
+    print(f"graph: {graph}")
+    print(render_table(f"{args.method} batch "
+                       f"(backend: {batch.results[0].backend})",
+                       ["query", "count", "time"], rows))
+    s = batch.stats
+    print(f"shared precomputation: {s.wedge_builds} wedge pass(es), "
+          f"{s.order_builds} reorder permutation(s), "
+          f"{s.index_builds} two-hop index(es), "
+          f"{s.htb_adj_builds + s.htb_two_hop_builds} HTB build(s)")
+    print(f"result cache: {batch.cache_hits} hit(s), "
+          f"{batch.cache_misses} miss(es)")
     return 0
 
 
@@ -180,6 +226,7 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "count": _cmd_count,
+        "batch": _cmd_batch,
         "enumerate": _cmd_enumerate,
         "estimate": _cmd_estimate,
         "datasets": _cmd_datasets,

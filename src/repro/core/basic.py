@@ -58,18 +58,24 @@ def _root_total(graph: BipartiteGraph, index: TwoHopIndex, root: int,
 
 def basic_count(graph: BipartiteGraph, query: BicliqueQuery,
                 backend: KernelBackend | str | None = None,
-                workers: int | None = None) -> CountResult:
+                workers: int | None = None,
+                session=None) -> CountResult:
     """Count (p, q)-bicliques with the Basic model (anchor fixed on U).
 
     With the parallel engine (``backend="par"`` or ``workers=``) the root
     set is sharded over worker processes; the count is identical for any
-    worker count.
+    worker count.  ``session=`` (a :class:`repro.query.GraphSession`)
+    serves the id-ordered two-hop index from the per-graph caches.
     """
     engine = resolve_backend(backend, workers=workers)
     start = time.perf_counter()
     p, q = query.p, query.q
-    ids = np.arange(graph.num_u, dtype=np.int64)
-    index = build_two_hop_index(graph, LAYER_U, q, min_priority_rank=ids)
+    if session is not None:
+        session.check_owns(graph)
+        index = session.id_order_index(q)
+    else:
+        ids = np.arange(graph.num_u, dtype=np.int64)
+        index = build_two_hop_index(graph, LAYER_U, q, min_priority_rank=ids)
 
     def count_chunk(roots) -> int:
         return sum(_root_total(graph, index, int(r), p, q, engine)

@@ -109,14 +109,22 @@ def _enumerate_root(graph: BipartiteGraph, index: TwoHopIndex,
 
 
 def _prepare(graph: BipartiteGraph, query: BicliqueQuery,
-             layer: str | None, profile: BCLProfile):
+             layer: str | None, profile: BCLProfile, session=None):
     """Anchor, rank, and build the rank-filtered 2-hop index (timed as
-    2-hop search work, which is what it is)."""
+    2-hop search work, which is what it is).  A
+    :class:`repro.query.GraphSession` serves order and index from its
+    caches instead — identical structures, built at most once."""
     g, p, q, anchored = anchored_view(graph, query, layer)
     t0 = time.perf_counter()
-    order = priority_order(g, LAYER_U, q)
-    rank = rank_from_order(order)
-    index = build_two_hop_index(g, LAYER_U, q, min_priority_rank=rank)
+    if session is not None:
+        session.check_owns(graph)
+        g = session.anchored(anchored)
+        order = session.priority_order(anchored, q)
+        index = session.two_hop_index(anchored, q)
+    else:
+        order = priority_order(g, LAYER_U, q)
+        rank = rank_from_order(order)
+        index = build_two_hop_index(g, LAYER_U, q, min_priority_rank=rank)
     profile.seconds_two_hop += time.perf_counter() - t0
     return g, p, q, anchored, order, index
 
@@ -186,7 +194,8 @@ def bcl_count(graph: BipartiteGraph, query: BicliqueQuery,
               layer: str | None = None,
               backend: KernelBackend | str | None = None,
               instrument: bool | None = None,
-              workers: int | None = None) -> CountResult:
+              workers: int | None = None,
+              session=None) -> CountResult:
     """Run BCL and return the exact count.
 
     ``instrument`` controls the per-call Fig. 1(b) timers and comparison
@@ -195,13 +204,16 @@ def bcl_count(graph: BipartiteGraph, query: BicliqueQuery,
     reports an empty breakdown but an identical count.  With the parallel
     engine (``backend="par"`` or ``workers=``) the promising roots are
     sharded over worker processes — the count is identical regardless.
+    ``session=`` (a :class:`repro.query.GraphSession`) serves the
+    priority order and two-hop index from the per-graph caches.
     """
     engine = resolve_backend(backend, workers=workers)
     if instrument is None:
         instrument = engine.instrumented
     profile = BCLProfile()
     start = time.perf_counter()
-    g, p, q, anchored, order, index = _prepare(graph, query, layer, profile)
+    g, p, q, anchored, order, index = _prepare(graph, query, layer, profile,
+                                               session)
     total = _run_roots(g, index, order, p, q, engine, instrument, profile)
     profile.seconds_total = time.perf_counter() - start
     breakdown = {
@@ -231,7 +243,8 @@ def bcl_per_root_profile(graph: BipartiteGraph, query: BicliqueQuery,
                          layer: str | None = None,
                          backend: KernelBackend | str | None = None,
                          instrument: bool | None = None,
-                         workers: int | None = None) -> BCLProfile:
+                         workers: int | None = None,
+                         session=None) -> BCLProfile:
     """Run BCL and return the full per-root profile (BCLP's input).
 
     Per-root wall times are always collected (they are the profile's
@@ -243,7 +256,8 @@ def bcl_per_root_profile(graph: BipartiteGraph, query: BicliqueQuery,
         instrument = engine.instrumented
     profile = BCLProfile()
     start = time.perf_counter()
-    g, p, q, _, order, index = _prepare(graph, query, layer, profile)
+    g, p, q, _, order, index = _prepare(graph, query, layer, profile,
+                                        session)
     _run_roots(g, index, order, p, q, engine, instrument, profile)
     profile.seconds_total = time.perf_counter() - start
     return profile

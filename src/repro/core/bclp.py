@@ -47,7 +47,8 @@ def bclp_count(graph, query: BicliqueQuery,
                threads: int = DEFAULT_THREADS,
                layer: str | None = None,
                backend: KernelBackend | str | None = None,
-               workers: int | None = None) -> CountResult:
+               workers: int | None = None,
+               session=None) -> CountResult:
     """BCLP: BCL's per-root work list-scheduled over ``threads`` threads.
 
     ``threads`` is the *modelled* thread count of the paper's CPU
@@ -61,7 +62,8 @@ def bclp_count(graph, query: BicliqueQuery,
     """
     engine = resolve_backend(backend, workers=workers)
     start = time.perf_counter()
-    profile = bcl_per_root_profile(graph, query, layer, backend=engine)
+    profile = bcl_per_root_profile(graph, query, layer, backend=engine,
+                                   session=session)
     sequential = sum(profile.per_root_seconds)
     preprocessing = max(profile.seconds_total - sequential, 0.0)
     makespan = schedule_makespan(profile.per_root_seconds, threads)

@@ -42,13 +42,29 @@ class DeviceInputs:
 
 
 def prepare_device_inputs(graph: BipartiteGraph, query: BicliqueQuery,
-                          layer: str | None = None) -> DeviceInputs:
-    """Anchor, rank, build the 2-hop index and filter unpromising roots."""
+                          layer: str | None = None,
+                          session=None) -> DeviceInputs:
+    """Anchor, rank, build the 2-hop index and filter unpromising roots.
+
+    With a :class:`repro.query.GraphSession` the order/rank/index come
+    from the session's caches (built at most once per anchored layer and
+    k); only the cheap per-query root filter runs every time.  The
+    structures are identical either way — the session derives them from
+    one shared wedge pass instead of enumerating wedges afresh.
+    """
     t0 = time.perf_counter()
     g, p, q, anchored = anchored_view(graph, query, layer)
-    order = priority_order(g, LAYER_U, q)
-    rank = rank_from_order(order)
-    index = build_two_hop_index(g, LAYER_U, q, min_priority_rank=rank)
+    if session is not None:
+        session.check_owns(graph)
+        g = session.anchored(anchored)
+        order = session.priority_order(anchored, q)
+        rank = session.priority_rank(anchored, q)
+        index = session.two_hop_index(anchored, q)
+        session.stats.prepare_calls += 1
+    else:
+        order = priority_order(g, LAYER_U, q)
+        rank = rank_from_order(order)
+        index = build_two_hop_index(g, LAYER_U, q, min_priority_rank=rank)
     promising = []
     for root in order:
         root = int(root)

@@ -280,7 +280,8 @@ def gbc_count(graph: BipartiteGraph, query: BicliqueQuery,
               options: GBCOptions | None = None,
               layer: str | None = None,
               backend: KernelBackend | str | None = None,
-              workers: int | None = None) -> DeviceRunResult:
+              workers: int | None = None,
+              session=None) -> DeviceRunResult:
     """Count (p, q)-bicliques with GBC on the simulated device.
 
     Returns a :class:`DeviceRunResult` whose ``breakdown`` carries the
@@ -289,21 +290,27 @@ def gbc_count(graph: BipartiteGraph, query: BicliqueQuery,
     ``backend="fast"`` the count is identical but all device accounting
     (metrics, makespan, device seconds) stays zero — use ``wall_seconds``.
     With ``backend="par"`` (or ``workers=``) the root set additionally
-    shards over worker processes, merged deterministically.
+    shards over worker processes, merged deterministically.  With a
+    :class:`repro.query.GraphSession` as ``session=``, the priority
+    order, two-hop index and both HTBs come from the session's caches —
+    built once and shared across every query of a batch.
     """
     spec = spec or rtx_3090()
     engine = resolve_backend(backend, spec, workers=workers)
     opts = options or GBCOptions()
     wall0 = time.perf_counter()
-    inputs = prepare_device_inputs(graph, query, layer)
+    inputs = prepare_device_inputs(graph, query, layer, session=session)
     blocks = opts.num_blocks or spec.blocks_per_launch
 
     htb1 = htb2 = None
     htb_seconds = 0.0
     if opts.use_htb:
         t0 = time.perf_counter()
-        htb1 = htb_from_graph(inputs.graph, LAYER_U)
-        htb2 = htb_from_two_hop(inputs.index)
+        if session is not None:
+            htb1, htb2 = session.htb_pair(inputs.anchored_layer, inputs.q)
+        else:
+            htb1 = htb_from_graph(inputs.graph, LAYER_U)
+            htb2 = htb_from_two_hop(inputs.index)
         htb_seconds = time.perf_counter() - t0
 
     weights = np.asarray([inputs.index.size(int(r)) for r in inputs.roots],

@@ -87,12 +87,17 @@ def gbl_count(graph: BipartiteGraph, query: BicliqueQuery,
               layer: str | None = None,
               num_blocks: int | None = None,
               backend: KernelBackend | str | None = None,
-              workers: int | None = None) -> DeviceRunResult:
-    """Count (p, q)-bicliques with the GPU baseline on the simulator."""
+              workers: int | None = None,
+              session=None) -> DeviceRunResult:
+    """Count (p, q)-bicliques with the GPU baseline on the simulator.
+
+    ``session=`` (a :class:`repro.query.GraphSession`) serves the
+    priority order and two-hop index from the per-graph caches.
+    """
     spec = spec or rtx_3090()
     engine = resolve_backend(backend, spec, workers=workers)
     wall0 = time.perf_counter()
-    inputs = prepare_device_inputs(graph, query, layer)
+    inputs = prepare_device_inputs(graph, query, layer, session=session)
     blocks = num_blocks or spec.blocks_per_launch
 
     weights = np.asarray([inputs.index.size(int(r)) for r in inputs.roots],

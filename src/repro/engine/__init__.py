@@ -12,11 +12,19 @@ Planning/definition (which sets intersect, in which order) lives in
   to a serial fast run for any worker count).
 
 Select one via the ``backend=`` argument of any counting entry point, the
-``--backend``/``--workers`` CLI flags, or construct an engine directly::
+``--backend``/``--workers`` CLI flags, or construct an engine directly:
 
-    from repro import FastBackend, ParallelBackend, gbc_count
-    result = gbc_count(graph, query, backend=FastBackend())
-    sharded = gbc_count(graph, query, backend=ParallelBackend(workers=4))
+>>> from repro.engine import BACKEND_NAMES, FastBackend, resolve_backend
+>>> BACKEND_NAMES
+('sim', 'fast', 'par')
+>>> resolve_backend(None).name          # the historical default
+'sim'
+>>> resolve_backend("fast").instrumented
+False
+>>> resolve_backend(None, workers=2).name  # workers= implies "par"
+'par'
+>>> resolve_backend(FastBackend()).name    # instances pass through
+'fast'
 """
 
 from repro.engine.base import (

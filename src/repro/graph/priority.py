@@ -19,8 +19,8 @@ import numpy as np
 from repro.graph.bipartite import BipartiteGraph, LAYER_U, LAYER_V
 from repro.graph.twohop import two_hop_multiset
 
-__all__ = ["priority_order", "priority_rank", "rank_from_order",
-           "select_layer", "wedge_mass"]
+__all__ = ["priority_order", "priority_order_from_sizes", "priority_rank",
+           "rank_from_order", "select_layer", "wedge_mass"]
 
 
 def _n2k_sizes(graph: BipartiteGraph, layer: str, k: int) -> np.ndarray:
@@ -39,8 +39,18 @@ def priority_order(graph: BipartiteGraph, layer: str, k: int) -> np.ndarray:
     qualified 2-hop neighbours (|N2^k|), ties broken by smaller id
     (Definition 2).
     """
-    sizes = _n2k_sizes(graph, layer, k)
-    ids = np.arange(graph.layer_size(layer), dtype=np.int64)
+    return priority_order_from_sizes(_n2k_sizes(graph, layer, k))
+
+
+def priority_order_from_sizes(sizes: np.ndarray) -> np.ndarray:
+    """The Definition-2 order given precomputed |N2^k| sizes.
+
+    Shared by :func:`priority_order` (which enumerates wedges itself)
+    and :class:`repro.query.GraphSession` (which reuses one
+    :class:`~repro.graph.twohop.WedgeIndex` across k values) so both
+    paths sort identically: ascending |N2^k|, ties to the smaller id.
+    """
+    ids = np.arange(len(sizes), dtype=np.int64)
     return ids[np.lexsort((ids, sizes))]
 
 

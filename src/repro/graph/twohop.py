@@ -16,7 +16,8 @@ import numpy as np
 
 from repro.graph.bipartite import BipartiteGraph
 
-__all__ = ["two_hop_multiset", "n2k", "TwoHopIndex", "build_two_hop_index"]
+__all__ = ["two_hop_multiset", "n2k", "TwoHopIndex", "build_two_hop_index",
+           "WedgeIndex", "build_wedge_index"]
 
 
 def two_hop_multiset(graph: BipartiteGraph, layer: str, vertex: int):
@@ -80,6 +81,90 @@ class TwoHopIndex:
     def total_entries(self) -> int:
         """Total stored 2-hop entries (memory proxy for BCPar weights)."""
         return int(len(self.neighbors))
+
+
+@dataclass(frozen=True)
+class WedgeIndex:
+    """The *full* two-hop multiset of one layer, in CSR form.
+
+    ``neighbors[offsets[u]:offsets[u+1]]`` are the sorted 2-hop
+    neighbours of ``u`` and ``counts[...]`` their shared-neighbour
+    multiplicities — the raw output of one wedge-enumeration pass,
+    before any threshold ``k`` is applied.  Every k-dependent structure
+    (|N2^k| sizes for the Definition-2 priority, the rank-filtered
+    N2^k index) is a cheap filter over these arrays, which is what lets
+    a :class:`repro.query.GraphSession` answer queries with different
+    ``q`` values from a single wedge enumeration.
+    """
+
+    layer: str
+    offsets: np.ndarray
+    neighbors: np.ndarray
+    counts: np.ndarray
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.offsets) - 1
+
+    def _row_ids(self) -> np.ndarray:
+        """row_ids[i] = owning vertex of entry i (memoised; the frozen
+        dataclass only blocks ``__setattr__``, not ``__dict__`` writes)."""
+        cached = self.__dict__.get("_rows")
+        if cached is None:
+            self.__dict__["_rows"] = cached = np.repeat(
+                np.arange(self.num_vertices, dtype=np.int64),
+                np.diff(self.offsets))
+        return cached
+
+    def n2k_sizes(self, k: int) -> np.ndarray:
+        """|N2^k(u)| for every vertex u — the Definition-2 sort key."""
+        keep = self.counts >= k
+        return np.bincount(self._row_ids()[keep],
+                           minlength=self.num_vertices).astype(np.int64)
+
+    def two_hop_index(self, k: int,
+                      min_priority_rank: np.ndarray | None = None
+                      ) -> TwoHopIndex:
+        """Materialise the N2^k index by filtering the stored multiset.
+
+        Produces arrays identical to :func:`build_two_hop_index` on the
+        same graph/layer/k/rank, without re-enumerating any wedges.
+        """
+        keep = self.counts >= k
+        rows = self._row_ids()
+        if min_priority_rank is not None and len(self.neighbors):
+            rank = np.asarray(min_priority_rank, dtype=np.int64)
+            keep = keep & (rank[self.neighbors] > rank[rows])
+        per_row = np.bincount(rows[keep], minlength=self.num_vertices)
+        offsets = np.zeros(self.num_vertices + 1, dtype=np.int64)
+        np.cumsum(per_row, out=offsets[1:])
+        return TwoHopIndex(layer=self.layer, k=k, offsets=offsets,
+                           neighbors=self.neighbors[keep])
+
+
+def build_wedge_index(graph: BipartiteGraph, layer: str) -> WedgeIndex:
+    """One wedge-enumeration pass over ``layer``: the full 2-hop multiset.
+
+    This is the expensive part of host-side preprocessing; everything
+    downstream (priority order, N2^k for any k) filters its output.
+    """
+    n = graph.layer_size(layer)
+    offsets = np.zeros(n + 1, dtype=np.int64)
+    vert_rows: list[np.ndarray] = []
+    count_rows: list[np.ndarray] = []
+    for u in range(n):
+        verts, counts = two_hop_multiset(graph, layer, u)
+        offsets[u + 1] = offsets[u] + len(verts)
+        vert_rows.append(verts)
+        count_rows.append(counts)
+    if offsets[-1]:
+        neighbors = np.concatenate(vert_rows)
+        counts = np.concatenate(count_rows)
+    else:
+        neighbors = np.empty(0, dtype=np.int64)
+        counts = np.empty(0, dtype=np.int64)
+    return WedgeIndex(layer=layer, offsets=offsets,
+                      neighbors=neighbors, counts=counts)
 
 
 def build_two_hop_index(graph: BipartiteGraph, layer: str, k: int,

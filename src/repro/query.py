@@ -1,0 +1,485 @@
+"""Batched multi-query engine with shared per-graph precomputation.
+
+The paper's system pays a large fixed cost per graph — the Definition-2
+priority reordering, the two-hop (N2^q) index, and the HTB bitmap views
+— before a single (p, q)-biclique is counted.  A service answering many
+(p, q) queries over the same graph should build those structures once
+and amortise them, which is exactly what this module provides:
+
+* :class:`GraphSession` owns the prepared state of one
+  :class:`~repro.graph.bipartite.BipartiteGraph`: the wedge-enumeration
+  pass (shared across *all* q values), per-(layer, k) priority orders
+  and rank-filtered two-hop indexes, HTB materialisations, and an LRU
+  :class:`ResultCache` keyed by ``(graph fingerprint, method, p, q,
+  backend)``.  Everything is built lazily and cached; construction
+  counts are exposed on :attr:`GraphSession.stats` so build-once
+  behaviour is testable, not aspirational.
+* :func:`batch_count` evaluates a list of queries against one shared
+  session and reports the cache traffic of the batch.
+
+Every counter in :mod:`repro.core` accepts ``session=`` and pulls its
+prepared inputs from the session instead of rebuilding them; the
+classic ``gbc_count(graph, query)`` call convention is preserved as the
+no-session path.
+
+>>> from repro import BicliqueQuery, GraphSession, batch_count, gbc_count
+>>> from repro import random_bipartite
+>>> g = random_bipartite(num_u=30, num_v=20, num_edges=200, seed=7)
+>>> batch = batch_count(g, "2x2,2x3,3x3", backend="fast")
+>>> [r.count for r in batch.results]
+[908, 528, 118]
+>>> batch.results[0].count == gbc_count(g, BicliqueQuery(2, 2),
+...                                     backend="fast").count
+True
+>>> batch.stats.wedge_builds   # one wedge enumeration served q=2 and q=3
+1
+
+A session persists across batches, so a repeated query is a cache hit:
+
+>>> session = GraphSession(g)
+>>> first = batch_count(session, ["3x3"], backend="fast")
+>>> again = batch_count(session, ["3x3"], backend="fast")
+>>> (first.cache_hits, again.cache_hits)
+(0, 1)
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.counts import BicliqueQuery, CountResult
+from repro.core.gbc import GBCOptions
+from repro.engine.base import KernelBackend, resolve_backend
+from repro.errors import QueryError
+from repro.gpu.device import rtx_3090
+from repro.graph.bipartite import BipartiteGraph, LAYER_U, LAYER_V
+from repro.graph.priority import priority_order_from_sizes, rank_from_order
+from repro.graph.twohop import TwoHopIndex, WedgeIndex, build_wedge_index
+from repro.htb.htb import HTB, htb_from_graph, htb_from_two_hop
+
+__all__ = ["GraphSession", "SessionStats", "ResultCache", "BatchResult",
+           "batch_count", "parse_queries", "graph_fingerprint"]
+
+
+def graph_fingerprint(graph: BipartiteGraph) -> str:
+    """A content hash of the graph's CSR arrays (layer sizes + edges).
+
+    Two structurally identical graphs fingerprint identically whatever
+    their ``name``; any edge difference — including in-place mutation
+    of the underlying arrays — changes the digest.  This is the cache
+    key component that ties cached counts to graph *content*.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    h.update(np.asarray([graph.num_u, graph.num_v], dtype=np.int64).tobytes())
+    for arr in (graph.u_offsets, graph.u_neighbors,
+                graph.v_offsets, graph.v_neighbors):
+        h.update(np.ascontiguousarray(arr, dtype=np.int64).tobytes())
+    return h.hexdigest()
+
+
+def parse_queries(queries) -> list[BicliqueQuery]:
+    """Normalise a query batch to a list of :class:`BicliqueQuery`.
+
+    Accepts a comma-separated ``"PxQ"`` string (the CLI syntax), or any
+    iterable mixing ``"PxQ"`` strings, ``(p, q)`` pairs, and
+    :class:`BicliqueQuery` instances.
+
+    >>> parse_queries("3x3,3x4")
+    [BicliqueQuery(p=3, q=3), BicliqueQuery(p=3, q=4)]
+    >>> parse_queries([(2, 2), BicliqueQuery(4, 4)])
+    [BicliqueQuery(p=2, q=2), BicliqueQuery(p=4, q=4)]
+    """
+    if isinstance(queries, str):
+        queries = [part for part in queries.split(",") if part.strip()]
+    out: list[BicliqueQuery] = []
+    for item in queries:
+        if isinstance(item, BicliqueQuery):
+            out.append(item)
+            continue
+        if isinstance(item, str):
+            text = item.strip().lower()
+            parts = text.split("x")
+            if len(parts) != 2:
+                raise QueryError(f"bad query spec {item!r}; expected 'PxQ' "
+                                 f"like '3x4'")
+            try:
+                out.append(BicliqueQuery(int(parts[0]), int(parts[1])))
+            except ValueError as exc:
+                raise QueryError(f"bad query spec {item!r}: {exc}") from None
+            continue
+        try:
+            p, q = item
+            out.append(BicliqueQuery(int(p), int(q)))
+        except (TypeError, ValueError):
+            raise QueryError(f"bad query spec {item!r}; expected 'PxQ', "
+                             f"(p, q) or BicliqueQuery") from None
+    if not out:
+        raise QueryError("empty query batch")
+    return out
+
+
+@dataclass
+class SessionStats:
+    """Construction counters of a :class:`GraphSession`.
+
+    Each counter increments once per *materialisation* of the named
+    structure; cache hits leave them untouched.  The batch-engine
+    guarantee — one wedge pass, one reorder permutation, one two-hop
+    index and one HTB per (layer, k) regardless of batch size — is
+    asserted against these counters in ``tests/query/``.
+    """
+
+    wedge_builds: int = 0       #: full wedge-enumeration passes (per layer)
+    order_builds: int = 0      #: priority (reorder) permutations built
+    index_builds: int = 0      #: N2^k two-hop indexes materialised
+    htb_adj_builds: int = 0    #: HTBs over 1-hop adjacency (per layer)
+    htb_two_hop_builds: int = 0  #: HTBs over N2^k lists (per layer, k)
+    prepare_calls: int = 0     #: device-input preparations served
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self.__dict__)
+
+
+class ResultCache:
+    """A small LRU cache of :class:`~repro.core.counts.CountResult`.
+
+    Keys are built by :meth:`GraphSession.count` from ``(graph
+    fingerprint, method, p, q, backend name, ...)``; values are the
+    full result objects, so a hit returns the original run's count
+    *and* its timings/metrics.  ``hits``/``misses`` make cache traffic
+    observable.
+    """
+
+    def __init__(self, maxsize: int = 256) -> None:
+        if maxsize < 1:
+            raise QueryError(f"cache maxsize must be >= 1, got {maxsize}")
+        self.maxsize = int(maxsize)
+        self.hits = 0
+        self.misses = 0
+        self._data: OrderedDict[tuple, CountResult] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self._data
+
+    def get(self, key: tuple) -> CountResult | None:
+        """The cached result for ``key``, refreshing its recency."""
+        got = self._data.get(key)
+        if got is None:
+            self.misses += 1
+            return None
+        self._data.move_to_end(key)
+        self.hits += 1
+        return got
+
+    def put(self, key: tuple, value: CountResult) -> None:
+        """Insert/refresh ``key``, evicting the least recently used."""
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+
+class GraphSession:
+    """Prepared, shareable counting state for one bipartite graph.
+
+    The session builds each precomputation product lazily, exactly
+    once, and hands it to any counter that asks (every entry point in
+    :mod:`repro.core` takes ``session=``):
+
+    * :meth:`wedges` — the full two-hop multiset of a layer (one wedge
+      pass, shared by *every* k);
+    * :meth:`priority_order` / :meth:`priority_rank` — the Definition-2
+      reorder permutation per (layer, k);
+    * :meth:`two_hop_index` — the rank-filtered N2^k index per
+      (layer, k);
+    * :meth:`htb_pair` — the adjacency and two-hop HTBs GBC intersects;
+    * :meth:`count` — a counting run through the LRU result cache.
+
+    Sessions assume the graph is immutable (as
+    :class:`~repro.graph.bipartite.BipartiteGraph` is designed to be).
+    If the underlying arrays are mutated in place regardless, call
+    :meth:`refresh`: it re-fingerprints the graph and drops every cache
+    on a content change.
+    """
+
+    def __init__(self, graph: BipartiteGraph, spec=None,
+                 max_cached_results: int = 256) -> None:
+        self._graph = graph
+        self.spec = spec
+        self._fingerprint = graph_fingerprint(graph)
+        self.stats = SessionStats()
+        self.results = ResultCache(max_cached_results)
+        self._anchored: dict[str, BipartiteGraph] = {LAYER_U: graph}
+        self._wedges: dict[str, WedgeIndex] = {}
+        self._orders: dict[tuple, np.ndarray] = {}
+        self._ranks: dict[tuple, np.ndarray] = {}
+        self._indexes: dict[tuple, TwoHopIndex] = {}
+        self._htb_adj: dict[str, HTB] = {}
+        self._htb_two_hop: dict[tuple, HTB] = {}
+
+    @property
+    def graph(self) -> BipartiteGraph:
+        return self._graph
+
+    @property
+    def fingerprint(self) -> str:
+        """Content hash of the graph at session creation / last refresh."""
+        return self._fingerprint
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"GraphSession({self._graph!r}, "
+                f"fingerprint={self._fingerprint[:8]}..., "
+                f"cached_results={len(self.results)})")
+
+    def check_owns(self, graph: BipartiteGraph) -> None:
+        """Raise :class:`~repro.errors.QueryError` unless this session
+        wraps exactly the graph a counter was handed (identity, not
+        structural equality — prepared state is per-object)."""
+        if graph is not self._graph:
+            raise QueryError("session wraps a different graph than the one "
+                             "passed to the counter")
+
+    # -- prepared structures -------------------------------------------
+    def anchored(self, layer: str) -> BipartiteGraph:
+        """The graph presented with ``layer`` as its U side."""
+        got = self._anchored.get(layer)
+        if got is None:
+            if layer != LAYER_V:
+                raise QueryError(f"unknown layer {layer!r}")
+            self._anchored[layer] = got = self._graph.swapped()
+        return got
+
+    def wedges(self, layer: str) -> WedgeIndex:
+        """The full two-hop multiset of ``layer`` (one pass, any k)."""
+        got = self._wedges.get(layer)
+        if got is None:
+            self.stats.wedge_builds += 1
+            got = build_wedge_index(self.anchored(layer), LAYER_U)
+            self._wedges[layer] = got
+        return got
+
+    def priority_order(self, layer: str, k: int) -> np.ndarray:
+        """The Definition-2 reorder permutation for (``layer``, ``k``)."""
+        key = (layer, int(k))
+        got = self._orders.get(key)
+        if got is None:
+            self.stats.order_builds += 1
+            got = priority_order_from_sizes(self.wedges(layer).n2k_sizes(k))
+            self._orders[key] = got
+        return got
+
+    def priority_rank(self, layer: str, k: int) -> np.ndarray:
+        """rank[vertex] = position in :meth:`priority_order`."""
+        key = (layer, int(k))
+        got = self._ranks.get(key)
+        if got is None:
+            got = rank_from_order(self.priority_order(layer, k))
+            self._ranks[key] = got
+        return got
+
+    def two_hop_index(self, layer: str, k: int) -> TwoHopIndex:
+        """The priority-rank-filtered N2^k index for (``layer``, ``k``)."""
+        key = (layer, int(k), "priority")
+        got = self._indexes.get(key)
+        if got is None:
+            self.stats.index_builds += 1
+            got = self.wedges(layer).two_hop_index(
+                k, min_priority_rank=self.priority_rank(layer, k))
+            self._indexes[key] = got
+        return got
+
+    def id_order_index(self, k: int) -> TwoHopIndex:
+        """The id-rank-filtered N2^k index the Basic baseline uses
+        (always anchored on U, candidates restricted to larger ids)."""
+        key = (LAYER_U, int(k), "id")
+        got = self._indexes.get(key)
+        if got is None:
+            self.stats.index_builds += 1
+            ids = np.arange(self._graph.num_u, dtype=np.int64)
+            got = self.wedges(LAYER_U).two_hop_index(k, min_priority_rank=ids)
+            self._indexes[key] = got
+        return got
+
+    def htb_pair(self, layer: str, k: int) -> tuple[HTB, HTB]:
+        """GBC's two HTBs: 1-hop adjacency (per layer) and N2^k lists
+        (per layer, k)."""
+        htb1 = self._htb_adj.get(layer)
+        if htb1 is None:
+            self.stats.htb_adj_builds += 1
+            htb1 = htb_from_graph(self.anchored(layer), LAYER_U)
+            self._htb_adj[layer] = htb1
+        key = (layer, int(k))
+        htb2 = self._htb_two_hop.get(key)
+        if htb2 is None:
+            self.stats.htb_two_hop_builds += 1
+            htb2 = htb_from_two_hop(self.two_hop_index(layer, k))
+            self._htb_two_hop[key] = htb2
+        return htb1, htb2
+
+    def prepared(self, query: BicliqueQuery, layer: str | None = None):
+        """The :class:`~repro.core.device_common.DeviceInputs` for one
+        query, served from the session's caches."""
+        from repro.core.device_common import prepare_device_inputs
+        return prepare_device_inputs(self._graph, query, layer, session=self)
+
+    # -- lifecycle ------------------------------------------------------
+    def refresh(self) -> bool:
+        """Re-fingerprint the graph; drop all caches if it changed.
+
+        Returns True when a content change was detected (the prepared
+        structures and cached results were invalidated), False when the
+        graph is untouched and every cache is kept.
+        """
+        fp = graph_fingerprint(self._graph)
+        if fp == self._fingerprint:
+            return False
+        self._fingerprint = fp
+        self._anchored = {LAYER_U: self._graph}
+        self._wedges.clear()
+        self._orders.clear()
+        self._ranks.clear()
+        self._indexes.clear()
+        self._htb_adj.clear()
+        self._htb_two_hop.clear()
+        self.results.clear()
+        return True
+
+    # -- counting through the result cache -----------------------------
+    def count(self, query: BicliqueQuery, method: str = "GBC", *,
+              backend: KernelBackend | str | None = None,
+              workers: int | None = None,
+              layer: str | None = None,
+              options: GBCOptions | None = None,
+              threads: int = 16,
+              use_cache: bool = True) -> CountResult:
+        """Run one counting query against the session's shared state.
+
+        Results are memoised in :attr:`results` under ``(fingerprint,
+        method, p, q, backend name, workers, layer, options, threads)``
+        — a hit returns the *original*
+        :class:`~repro.core.counts.CountResult` object without
+        re-running anything, so treat results as read-only: mutating a
+        returned result's ``breakdown``/``metrics`` would alter what
+        later hits observe.  Counts are backend-independent, but the
+        key includes backend name and worker count so cached
+        timing/metric fields always match the configuration that was
+        asked for.
+        """
+        engine = resolve_backend(backend, self.spec, workers=workers)
+        key = (self._fingerprint, method, query.p, query.q, engine.name,
+               # "par" results carry worker-dependent timings, so each
+               # worker count is its own cache entry (counts are
+               # worker-invariant, timing/shard fields are not)
+               getattr(engine, "workers", None),
+               layer, None if options is None else repr(options),
+               threads if method == "BCLP" else None)
+        if use_cache:
+            hit = self.results.get(key)
+            if hit is not None:
+                return hit
+        result = self._dispatch(method, query, engine, layer, options,
+                                threads)
+        if use_cache:
+            self.results.put(key, result)
+        return result
+
+    def _dispatch(self, method: str, query: BicliqueQuery,
+                  engine: KernelBackend, layer: str | None,
+                  options: GBCOptions | None, threads: int) -> CountResult:
+        # one dispatch table for the whole repo: bench.runner.run_method
+        # (bench.runner never imports repro.query at module level, so
+        # this direction is cycle-free)
+        from repro.bench.runner import METHODS, run_method
+
+        if method not in METHODS:
+            raise QueryError(f"unknown method {method!r}; "
+                             f"expected one of {METHODS}")
+        return run_method(method, self._graph, query, spec=self.spec,
+                          threads=threads, backend=engine, session=self,
+                          layer=layer, options=options)
+
+
+@dataclass
+class BatchResult:
+    """Outcome of one :func:`batch_count` call."""
+
+    queries: list[BicliqueQuery]
+    results: list[CountResult]
+    session: GraphSession
+    #: result-cache traffic of *this* batch (not the session lifetime)
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def counts(self) -> list[int]:
+        return [r.count for r in self.results]
+
+    @property
+    def stats(self) -> SessionStats:
+        return self.session.stats
+
+
+def batch_count(graph: BipartiteGraph | GraphSession,
+                queries: str | Iterable,
+                method: str = "GBC", *,
+                backend: KernelBackend | str | None = None,
+                workers: int | None = None,
+                layer: str | None = None,
+                spec=None,
+                options: GBCOptions | None = None,
+                threads: int = 16,
+                use_cache: bool = True) -> BatchResult:
+    """Evaluate a batch of (p, q) queries with shared precomputation.
+
+    ``graph`` may be a raw :class:`~repro.graph.bipartite.BipartiteGraph`
+    (a fresh :class:`GraphSession` is created for the batch and returned
+    on the result) or an existing session, which keeps its caches warm
+    across batches.  ``queries`` is anything :func:`parse_queries`
+    accepts.  All remaining arguments mirror the single-query entry
+    points: ``method`` picks the algorithm, ``backend``/``workers`` the
+    execution engine, ``layer`` pins the anchored layer.
+
+    The expensive per-graph structures — wedge enumeration, reorder
+    permutation, two-hop index, HTB — are built at most once per
+    (layer, k) for the whole batch, and queries repeated across batches
+    of the same session are served from the LRU result cache.
+
+    ``spec`` only applies when creating a fresh session; an existing
+    session keeps the device spec it was built with, and passing a
+    *different* one is an error rather than a silent override (a spec
+    value-equal to the session's — including the ``rtx_3090`` default
+    of a session built without one — is accepted).
+    """
+    if isinstance(graph, GraphSession):
+        session = graph
+        effective = session.spec if session.spec is not None else rtx_3090()
+        if spec is not None and spec != effective:
+            raise QueryError("spec= conflicts with the existing session's "
+                             "device spec; create the GraphSession with "
+                             "the spec you want")
+    else:
+        session = GraphSession(graph, spec=spec)
+    parsed = parse_queries(queries)
+    hits0, misses0 = session.results.hits, session.results.misses
+    results = [session.count(q, method, backend=backend, workers=workers,
+                             layer=layer, options=options, threads=threads,
+                             use_cache=use_cache)
+               for q in parsed]
+    return BatchResult(
+        queries=parsed,
+        results=results,
+        session=session,
+        cache_hits=session.results.hits - hits0,
+        cache_misses=session.results.misses - misses0,
+    )

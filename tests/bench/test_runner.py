@@ -44,6 +44,16 @@ class TestRunMatrix:
         for r in runs:
             assert r.seconds >= 0
 
+    def test_share_sessions_matches_unshared_counts(self, small_random,
+                                                    paper_graph):
+        graphs = {"a": small_random, "b": paper_graph}
+        queries = [BicliqueQuery(2, 2), BicliqueQuery(2, 3)]
+        methods = ["Basic", "BCL", "GBC"]
+        shared = run_matrix(graphs, queries, methods, share_sessions=True)
+        plain = run_matrix(graphs, queries, methods)
+        assert [(r.method, r.dataset, r.result.count) for r in shared] == \
+            [(r.method, r.dataset, r.result.count) for r in plain]
+
     def test_disagreement_detected(self, small_random, monkeypatch):
         import repro.bench.runner as runner_mod
 

@@ -5,7 +5,12 @@ import pytest
 
 from repro.graph.bipartite import LAYER_U, LAYER_V
 from repro.graph.builders import complete_bipartite, from_adjacency
-from repro.graph.twohop import build_two_hop_index, n2k, two_hop_multiset
+from repro.graph.twohop import (
+    build_two_hop_index,
+    build_wedge_index,
+    n2k,
+    two_hop_multiset,
+)
 
 
 class TestTwoHopMultiset:
@@ -93,3 +98,44 @@ class TestTwoHopIndex:
         for u in range(small_random.num_u):
             for w in filt.of(u):
                 assert rank[int(w)] > rank[u]
+
+
+class TestWedgeIndex:
+    """One wedge pass must reproduce every k-derived structure exactly."""
+
+    def test_rows_match_multiset(self, medium_power_law):
+        wedges = build_wedge_index(medium_power_law, LAYER_U)
+        for u in range(medium_power_law.num_u):
+            verts, counts = two_hop_multiset(medium_power_law, LAYER_U, u)
+            lo, hi = wedges.offsets[u], wedges.offsets[u + 1]
+            assert np.array_equal(wedges.neighbors[lo:hi], verts)
+            assert np.array_equal(wedges.counts[lo:hi], counts)
+
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_n2k_sizes_match(self, small_random, k):
+        wedges = build_wedge_index(small_random, LAYER_U)
+        sizes = wedges.n2k_sizes(k)
+        for u in range(small_random.num_u):
+            assert sizes[u] == len(n2k(small_random, LAYER_U, u, k))
+
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_two_hop_index_matches_classic_builder(self, small_random, k):
+        wedges = build_wedge_index(small_random, LAYER_U)
+        rng = np.random.default_rng(1)
+        for rank in (None,
+                     np.arange(small_random.num_u, dtype=np.int64),
+                     rng.permutation(small_random.num_u).astype(np.int64)):
+            classic = build_two_hop_index(small_random, LAYER_U, k,
+                                          min_priority_rank=rank)
+            derived = wedges.two_hop_index(k, min_priority_rank=rank)
+            assert np.array_equal(derived.offsets, classic.offsets)
+            assert np.array_equal(derived.neighbors, classic.neighbors)
+            assert derived.k == classic.k and derived.layer == classic.layer
+
+    def test_empty_layer(self):
+        g = from_adjacency({0: [0], 2: [1]}, num_u=3, num_v=2)
+        wedges = build_wedge_index(g, LAYER_U)
+        assert wedges.num_vertices == 3
+        assert wedges.n2k_sizes(1).tolist() == [0, 0, 0]
+        idx = wedges.two_hop_index(1)
+        assert idx.total_entries() == 0

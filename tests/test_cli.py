@@ -25,6 +25,18 @@ class TestParser:
                 ["count", "--graph", "x", "--dataset", "YT",
                  "-p", "1", "-q", "1"])
 
+    def test_batch_requires_queries(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["batch", "--dataset", "YT"])
+
+    def test_batch_args(self):
+        args = build_parser().parse_args(
+            ["batch", "--dataset", "YT", "--queries", "3x3,3x4",
+             "--backend", "fast"])
+        assert args.command == "batch"
+        assert args.queries == "3x3,3x4"
+        assert args.method == "GBC"
+
 
 class TestCommands:
     def test_count_dataset(self, capsys):
@@ -47,6 +59,26 @@ class TestCommands:
         assert main(["count", "--graph", str(path),
                      "-p", "1", "-q", "1"]) == 0
         assert f"bicliques: {g.num_edges}" in capsys.readouterr().out
+
+    def test_batch(self, capsys):
+        assert main(["batch", "--dataset", "YT", "--scale", "tiny",
+                     "--queries", "2x2,2x3", "--backend", "fast"]) == 0
+        out = capsys.readouterr().out
+        assert "(2,2)" in out and "(2,3)" in out
+        assert "shared precomputation: 1 wedge pass(es)" in out
+        assert "result cache: 0 hit(s), 2 miss(es)" in out
+
+    def test_batch_repeated_query_hits_cache(self, capsys):
+        assert main(["batch", "--dataset", "S1", "--scale", "tiny",
+                     "--queries", "2x2,2x2", "--backend", "fast"]) == 0
+        assert "result cache: 1 hit(s), 1 miss(es)" \
+            in capsys.readouterr().out
+
+    def test_batch_workers_with_sim_backend_errors(self, capsys):
+        assert main(["batch", "--dataset", "YT", "--scale", "tiny",
+                     "--queries", "2x2", "--backend", "sim",
+                     "--workers", "2"]) == 2
+        assert "error" in capsys.readouterr().err
 
     def test_enumerate(self, capsys):
         assert main(["enumerate", "--dataset", "S1", "--scale", "tiny",

@@ -1,0 +1,37 @@
+"""Markdown link check over README.md and docs/ (the CI docs step).
+
+Every relative link in the user-facing markdown must resolve to a real
+file or directory in the repository; external (http/https/mailto)
+targets are out of scope for an offline check.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parents[1]
+DOCS = [ROOT / "README.md", *sorted((ROOT / "docs").glob("*.md"))]
+# [text](target) — target captured up to the first ')' or whitespace
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def test_docs_directory_is_populated():
+    assert (ROOT / "docs" / "ARCHITECTURE.md").is_file()
+    assert (ROOT / "docs" / "PAPER_MAP.md").is_file()
+
+
+@pytest.mark.parametrize("doc", DOCS,
+                         ids=lambda p: p.relative_to(ROOT).as_posix())
+def test_relative_links_resolve(doc):
+    broken = []
+    for target in LINK_RE.findall(doc.read_text(encoding="utf-8")):
+        if target.startswith(EXTERNAL):
+            continue
+        path = target.split("#", 1)[0]
+        if not path:          # pure in-page anchor
+            continue
+        if not (doc.parent / path).exists():
+            broken.append(target)
+    assert not broken, f"broken relative links in {doc.name}: {broken}"

@@ -1,0 +1,28 @@
+"""Public-API docstring examples must be runnable, verbatim.
+
+The same modules are checked in CI with ``pytest --doctest-modules``;
+this mirror keeps the guarantee inside the tier-1 suite, so a drifting
+example fails locally before it fails in the docs job.
+"""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.engine
+import repro.engine.base
+import repro.query
+
+MODULES = [repro, repro.query, repro.engine, repro.engine.base]
+#: modules whose docstrings are required to carry at least one example
+MUST_HAVE_EXAMPLES = {repro, repro.query, repro.engine}
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_public_api_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.failed == 0
+    if module in MUST_HAVE_EXAMPLES:
+        assert result.attempted > 0, \
+            f"{module.__name__} lost its docstring examples"

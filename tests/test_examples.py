@@ -1,0 +1,20 @@
+"""Smoke tests for the runnable examples shipped under examples/.
+
+The quickstart is exercised by CI as a standalone step; the batch-query
+example is smoke-run here so tier-1 catches a broken example before CI
+does.  Each example asserts its own invariants internally — a clean run
+is the test.
+"""
+
+import runpy
+from pathlib import Path
+
+EXAMPLES = Path(__file__).resolve().parents[1] / "examples"
+
+
+def test_batch_queries_example_runs(capsys):
+    runpy.run_path(str(EXAMPLES / "batch_queries.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "batch results" in out
+    assert "cache hit(s)" in out
+    assert "verified" in out
