@@ -42,6 +42,9 @@ Packages:
 * :mod:`repro.core` — the counting algorithms (Basic, BCL, BCLP, GBL, GBC).
 * :mod:`repro.query` — the batched multi-query engine (GraphSession,
   batch_count, LRU result cache).
+* :mod:`repro.service` — the concurrent serving subsystem (bounded
+  session pool, micro-batching scheduler with futures/deadlines/
+  backpressure, telemetry, workload generator, serve-bench harness).
 * :mod:`repro.bench` — dataset stand-ins and paper experiment harness.
 
 See ``docs/ARCHITECTURE.md`` for the layer diagram and
@@ -94,6 +97,15 @@ from repro.query import (
     graph_fingerprint,
     parse_queries,
 )
+from repro.service import (
+    Scheduler,
+    SchedulerConfig,
+    SessionPool,
+    Telemetry,
+    WorkloadSpec,
+    run_workload,
+    serve_bench,
+)
 
 __version__ = "1.1.0"
 
@@ -110,4 +122,6 @@ __all__ = [
     "ParallelBackend", "BACKEND_NAMES", "get_backend", "resolve_backend",
     "GraphSession", "BatchResult", "ResultCache", "batch_count",
     "parse_queries", "graph_fingerprint",
+    "SessionPool", "Scheduler", "SchedulerConfig", "Telemetry",
+    "WorkloadSpec", "run_workload", "serve_bench",
 ]

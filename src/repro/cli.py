@@ -6,6 +6,7 @@ Examples::
     python -m repro count --graph my_edges.txt -p 2 -q 2 --method BCL
     python -m repro count --dataset YT --scale bench -p 3 -q 3 --backend fast
     python -m repro batch --dataset YT --scale tiny --queries 3x3,3x4,4x4
+    python -m repro serve-bench --graphs YT,S1 --scale tiny --duration 2
     python -m repro enumerate --dataset S1 --scale tiny -p 3 -q 2 --limit 5
     python -m repro estimate --dataset YT --scale bench -p 4 -q 4 --samples 32
     python -m repro datasets
@@ -27,7 +28,7 @@ from repro.engine import BACKEND_NAMES
 from repro.core.estimate import estimate_count
 from repro.graph.io import read_edge_list
 from repro.graph.stats import compute_stats
-from repro.query import batch_count
+from repro.query import batch_count, parse_queries
 
 __all__ = ["main", "build_parser"]
 
@@ -89,6 +90,59 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--workers", type=int, default=None, metavar="N",
                    help="worker processes for the parallel engine; "
                         "implies --backend par")
+
+    sb = sub.add_parser(
+        "serve-bench",
+        help="benchmark the concurrent serving subsystem against a "
+             "naive one-query-at-a-time loop and write a JSON artifact")
+    sb.add_argument("--graphs", default="YT,S1", metavar="KEY[,KEY...]",
+                    help="comma-separated Table II stand-in keys served "
+                         "by the pool, hottest first (default YT,S1)")
+    sb.add_argument("--scale", default="tiny",
+                    choices=("tiny", "bench", "full"),
+                    help="stand-in scale (default tiny)")
+    sb.add_argument("--queries", type=int, default=200, metavar="N",
+                    help="total requests in the workload (default 200)")
+    sb.add_argument("--duration", type=float, default=None, metavar="SECS",
+                    help="run for wall time instead of a request count")
+    sb.add_argument("--mode", default="closed", choices=("closed", "open"),
+                    help="closed loop (clients wait) or open loop "
+                         "(fixed-rate pacer; default closed)")
+    sb.add_argument("--clients", type=int, default=8,
+                    help="closed-loop client threads (default 8)")
+    sb.add_argument("--rate", type=float, default=200.0,
+                    help="open-loop submission rate in qps (default 200)")
+    sb.add_argument("--shapes", default="2x2,2x3,3x3", metavar="PxQ[,...]",
+                    help="query-shape mix (default 2x2,2x3,3x3)")
+    sb.add_argument("--zipf", type=float, default=1.1,
+                    help="graph-popularity skew exponent (default 1.1)")
+    sb.add_argument("--method", default="GBC", choices=list(METHODS))
+    sb.add_argument("--backend", default="fast",
+                    choices=list(BACKEND_NAMES),
+                    help="kernel engine batches execute on (default fast)")
+    sb.add_argument("--window-ms", type=float, default=2.0,
+                    help="micro-batching window in ms (default 2)")
+    sb.add_argument("--max-batch", type=int, default=64,
+                    help="per-batch request cap (default 64)")
+    sb.add_argument("--max-pending", type=int, default=1024,
+                    help="admission bound before backpressure "
+                         "(default 1024)")
+    sb.add_argument("--sched-workers", type=int, default=2, metavar="N",
+                    help="scheduler worker threads (default 2)")
+    sb.add_argument("--max-sessions", type=int, default=None, metavar="N",
+                    help="session-pool entry budget "
+                         "(default: one per graph)")
+    sb.add_argument("--deadline", type=float, default=None, metavar="SECS",
+                    help="per-request deadline")
+    sb.add_argument("--seed", type=int, default=0)
+    sb.add_argument("--naive-limit", type=int, default=100, metavar="N",
+                    help="request cap for the naive baseline (default 100)")
+    sb.add_argument("--no-verify", action="store_true",
+                    help="skip the direct-recount correctness oracle")
+    sb.add_argument("--output", default="benchmarks/artifacts/"
+                                        "BENCH_serve.json",
+                    help="artifact path (default benchmarks/artifacts/"
+                         "BENCH_serve.json)")
 
     e = sub.add_parser("enumerate", help="list (p,q)-bicliques")
     add_graph_args(e)
@@ -176,6 +230,77 @@ def _cmd_batch(args) -> int:
     return 0
 
 
+def _cmd_serve_bench(args) -> int:
+    from repro.service import SchedulerConfig, WorkloadSpec, serve_bench
+    from repro.service.bench import write_artifact
+
+    names = [n.strip() for n in args.graphs.split(",") if n.strip()]
+    known = list_datasets()
+    for name in names:
+        if name not in known:
+            print(f"error: unknown dataset {name!r}; pick from {known}",
+                  file=sys.stderr)
+            return 2
+    graphs = {name: load_dataset(name, args.scale) for name in names}
+    spec = WorkloadSpec(
+        graphs=tuple(names),
+        shapes=tuple((bq.p, bq.q) for bq in parse_queries(args.shapes)),
+        num_queries=args.queries,
+        duration_seconds=args.duration,
+        mode=args.mode,
+        clients=args.clients,
+        rate_qps=args.rate,
+        zipf_s=args.zipf,
+        method=args.method,
+        deadline=args.deadline,
+        seed=args.seed)
+    config = SchedulerConfig(
+        batch_window=args.window_ms / 1e3,
+        max_batch=args.max_batch,
+        max_pending=args.max_pending,
+        workers=args.sched_workers,
+        backend=args.backend,
+        method=args.method)
+    artifact = serve_bench(graphs, spec, config=config,
+                           max_sessions=args.max_sessions,
+                           naive_limit=args.naive_limit,
+                           verify=not args.no_verify)
+    path = write_artifact(artifact, args.output)
+
+    served, naive, tel = (artifact["served"], artifact["naive"],
+                          artifact["telemetry"])
+    rows = [
+        ["served", served["completed"],
+         f"{served['throughput_qps']:.1f}",
+         f"{tel['latency_ms']['p50']:.1f}",
+         f"{tel['latency_ms']['p99']:.1f}"],
+        ["naive", naive["requests"],
+         f"{naive['throughput_qps']:.1f}", "-", "-"],
+    ]
+    print(render_table(
+        f"serve-bench — {args.mode} loop over {', '.join(names)} "
+        f"({args.scale}), backend {args.backend}",
+        ["path", "requests", "qps", "p50 [ms]", "p99 [ms]"], rows))
+    print(f"speedup vs naive loop: {artifact['speedup_vs_naive']:.2f}x; "
+          f"mean batch {tel['batches']['mean_size']:.1f} "
+          f"(max {tel['batches']['max_size']}); "
+          f"rejected {served['rejected']}, expired {served['expired']}, "
+          f"failed {served['failed']}")
+    print(f"artifact: {path}")
+    if artifact["verified"]:
+        mismatches = artifact["mismatches"]
+        if mismatches:
+            print(f"error: {len(mismatches)} served count(s) differ from "
+                  f"direct runs: {mismatches}", file=sys.stderr)
+            return 1
+        print(f"verified: every served (graph, p, q) count is "
+              f"bit-identical to a direct {args.method} run")
+    if served["completed"] == 0:
+        print("error: workload completed zero requests", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_enumerate(args) -> int:
     graph = _load(args)
     query = BicliqueQuery(args.p, args.q)
@@ -227,6 +352,7 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "count": _cmd_count,
         "batch": _cmd_batch,
+        "serve-bench": _cmd_serve_bench,
         "enumerate": _cmd_enumerate,
         "estimate": _cmd_estimate,
         "datasets": _cmd_datasets,

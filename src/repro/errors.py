@@ -19,8 +19,13 @@ class GraphValidationError(ReproError):
     """An in-memory graph violates a structural invariant."""
 
 
-class QueryError(ReproError):
-    """A (p, q) biclique query is invalid (e.g. p < 1)."""
+class QueryError(ReproError, ValueError):
+    """A (p, q) biclique query or query spec is invalid (e.g. p < 1).
+
+    Also a :class:`ValueError`, because a malformed spec string like
+    ``"3x"`` is exactly the kind of bad-value input callers already
+    guard with ``except ValueError``.
+    """
 
 
 class DeviceError(ReproError):
@@ -41,3 +46,20 @@ class PartitionError(ReproError):
 
 class ReorderError(ReproError):
     """A vertex reordering is not a valid permutation of a layer."""
+
+
+class ServiceError(ReproError):
+    """Base class for failures of the query-serving subsystem."""
+
+
+class QueueFullError(ServiceError):
+    """The scheduler's admission queue is full (backpressure): retry
+    later or slow the request rate."""
+
+
+class DeadlineExceededError(ServiceError):
+    """A request's deadline passed before the scheduler executed it."""
+
+
+class ServiceClosedError(ServiceError):
+    """The scheduler/pool was closed and no longer accepts requests."""

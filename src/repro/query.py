@@ -46,6 +46,7 @@ A session persists across batches, so a repeated query is a cache hit:
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Iterable
@@ -87,12 +88,19 @@ def parse_queries(queries) -> list[BicliqueQuery]:
 
     Accepts a comma-separated ``"PxQ"`` string (the CLI syntax), or any
     iterable mixing ``"PxQ"`` strings, ``(p, q)`` pairs, and
-    :class:`BicliqueQuery` instances.
+    :class:`BicliqueQuery` instances.  A malformed spec raises
+    :class:`~repro.errors.QueryError` (a :class:`ValueError`) that names
+    the offending item and what is wrong with it — a truncated ``"3x"``,
+    a non-integer side, and zero/negative sizes are each called out.
 
     >>> parse_queries("3x3,3x4")
     [BicliqueQuery(p=3, q=3), BicliqueQuery(p=3, q=4)]
     >>> parse_queries([(2, 2), BicliqueQuery(4, 4)])
     [BicliqueQuery(p=2, q=2), BicliqueQuery(p=4, q=4)]
+    >>> parse_queries("0x3")
+    Traceback (most recent call last):
+        ...
+    repro.errors.QueryError: bad query spec '0x3': p and q must be >= 1, got (0, 3)
     """
     if isinstance(queries, str):
         queries = [part for part in queries.split(",") if part.strip()]
@@ -102,22 +110,29 @@ def parse_queries(queries) -> list[BicliqueQuery]:
             out.append(item)
             continue
         if isinstance(item, str):
-            text = item.strip().lower()
-            parts = text.split("x")
+            parts = item.strip().lower().split("x")
             if len(parts) != 2:
                 raise QueryError(f"bad query spec {item!r}; expected 'PxQ' "
                                  f"like '3x4'")
             try:
-                out.append(BicliqueQuery(int(parts[0]), int(parts[1])))
-            except ValueError as exc:
-                raise QueryError(f"bad query spec {item!r}: {exc}") from None
-            continue
-        try:
-            p, q = item
-            out.append(BicliqueQuery(int(p), int(q)))
-        except (TypeError, ValueError):
-            raise QueryError(f"bad query spec {item!r}; expected 'PxQ', "
-                             f"(p, q) or BicliqueQuery") from None
+                p, q = int(parts[0]), int(parts[1])
+            except ValueError:
+                missing = [n for n, s in zip("pq", parts) if not s.strip()]
+                what = (f"missing {' and '.join(missing)}" if missing
+                        else "p and q must be integers")
+                raise QueryError(
+                    f"bad query spec {item!r}: {what}") from None
+        else:
+            try:
+                p, q = item
+                p, q = int(p), int(q)
+            except (TypeError, ValueError):
+                raise QueryError(f"bad query spec {item!r}; expected 'PxQ', "
+                                 f"(p, q) or BicliqueQuery") from None
+        if p < 1 or q < 1:
+            raise QueryError(f"bad query spec {item!r}: p and q must be "
+                             f">= 1, got ({p}, {q})")
+        out.append(BicliqueQuery(p, q))
     if not out:
         raise QueryError("empty query batch")
     return out
@@ -153,6 +168,11 @@ class ResultCache:
     full result objects, so a hit returns the original run's count
     *and* its timings/metrics.  ``hits``/``misses`` make cache traffic
     observable.
+
+    All operations are thread-safe: the serving scheduler
+    (:mod:`repro.service`) hits one session's cache from many worker
+    threads at once, and an unlocked ``OrderedDict.move_to_end`` under
+    that load corrupts recency order or raises ``KeyError`` mid-eviction.
     """
 
     def __init__(self, maxsize: int = 256) -> None:
@@ -161,33 +181,39 @@ class ResultCache:
         self.maxsize = int(maxsize)
         self.hits = 0
         self.misses = 0
+        self._lock = threading.RLock()
         self._data: OrderedDict[tuple, CountResult] = OrderedDict()
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     def __contains__(self, key: tuple) -> bool:
-        return key in self._data
+        with self._lock:
+            return key in self._data
 
     def get(self, key: tuple) -> CountResult | None:
         """The cached result for ``key``, refreshing its recency."""
-        got = self._data.get(key)
-        if got is None:
-            self.misses += 1
-            return None
-        self._data.move_to_end(key)
-        self.hits += 1
-        return got
+        with self._lock:
+            got = self._data.get(key)
+            if got is None:
+                self.misses += 1
+                return None
+            self._data.move_to_end(key)
+            self.hits += 1
+            return got
 
     def put(self, key: tuple, value: CountResult) -> None:
         """Insert/refresh ``key``, evicting the least recently used."""
-        self._data[key] = value
-        self._data.move_to_end(key)
-        while len(self._data) > self.maxsize:
-            self._data.popitem(last=False)
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
 
     def clear(self) -> None:
-        self._data.clear()
+        with self._lock:
+            self._data.clear()
 
 
 class GraphSession:
@@ -211,12 +237,21 @@ class GraphSession:
     If the underlying arrays are mutated in place regardless, call
     :meth:`refresh`: it re-fingerprints the graph and drops every cache
     on a content change.
+
+    Sessions are thread-safe: every lazy builder runs under one
+    reentrant lock (reentrant because builders compose —
+    :meth:`two_hop_index` needs :meth:`priority_rank` needs
+    :meth:`wedges`), so concurrent counters still build each structure
+    exactly once and :attr:`stats` stays exact.  The lock is *not* held
+    while a count executes, so queries that found their prepared state
+    warm proceed in parallel.
     """
 
     def __init__(self, graph: BipartiteGraph, spec=None,
                  max_cached_results: int = 256) -> None:
         self._graph = graph
         self.spec = spec
+        self._lock = threading.RLock()
         self._fingerprint = graph_fingerprint(graph)
         self.stats = SessionStats()
         self.results = ResultCache(max_cached_results)
@@ -253,79 +288,88 @@ class GraphSession:
     # -- prepared structures -------------------------------------------
     def anchored(self, layer: str) -> BipartiteGraph:
         """The graph presented with ``layer`` as its U side."""
-        got = self._anchored.get(layer)
-        if got is None:
-            if layer != LAYER_V:
-                raise QueryError(f"unknown layer {layer!r}")
-            self._anchored[layer] = got = self._graph.swapped()
-        return got
+        with self._lock:
+            got = self._anchored.get(layer)
+            if got is None:
+                if layer != LAYER_V:
+                    raise QueryError(f"unknown layer {layer!r}")
+                self._anchored[layer] = got = self._graph.swapped()
+            return got
 
     def wedges(self, layer: str) -> WedgeIndex:
         """The full two-hop multiset of ``layer`` (one pass, any k)."""
-        got = self._wedges.get(layer)
-        if got is None:
-            self.stats.wedge_builds += 1
-            got = build_wedge_index(self.anchored(layer), LAYER_U)
-            self._wedges[layer] = got
-        return got
+        with self._lock:
+            got = self._wedges.get(layer)
+            if got is None:
+                self.stats.wedge_builds += 1
+                got = build_wedge_index(self.anchored(layer), LAYER_U)
+                self._wedges[layer] = got
+            return got
 
     def priority_order(self, layer: str, k: int) -> np.ndarray:
         """The Definition-2 reorder permutation for (``layer``, ``k``)."""
-        key = (layer, int(k))
-        got = self._orders.get(key)
-        if got is None:
-            self.stats.order_builds += 1
-            got = priority_order_from_sizes(self.wedges(layer).n2k_sizes(k))
-            self._orders[key] = got
-        return got
+        with self._lock:
+            key = (layer, int(k))
+            got = self._orders.get(key)
+            if got is None:
+                self.stats.order_builds += 1
+                got = priority_order_from_sizes(
+                    self.wedges(layer).n2k_sizes(k))
+                self._orders[key] = got
+            return got
 
     def priority_rank(self, layer: str, k: int) -> np.ndarray:
         """rank[vertex] = position in :meth:`priority_order`."""
-        key = (layer, int(k))
-        got = self._ranks.get(key)
-        if got is None:
-            got = rank_from_order(self.priority_order(layer, k))
-            self._ranks[key] = got
-        return got
+        with self._lock:
+            key = (layer, int(k))
+            got = self._ranks.get(key)
+            if got is None:
+                got = rank_from_order(self.priority_order(layer, k))
+                self._ranks[key] = got
+            return got
 
     def two_hop_index(self, layer: str, k: int) -> TwoHopIndex:
         """The priority-rank-filtered N2^k index for (``layer``, ``k``)."""
-        key = (layer, int(k), "priority")
-        got = self._indexes.get(key)
-        if got is None:
-            self.stats.index_builds += 1
-            got = self.wedges(layer).two_hop_index(
-                k, min_priority_rank=self.priority_rank(layer, k))
-            self._indexes[key] = got
-        return got
+        with self._lock:
+            key = (layer, int(k), "priority")
+            got = self._indexes.get(key)
+            if got is None:
+                self.stats.index_builds += 1
+                got = self.wedges(layer).two_hop_index(
+                    k, min_priority_rank=self.priority_rank(layer, k))
+                self._indexes[key] = got
+            return got
 
     def id_order_index(self, k: int) -> TwoHopIndex:
         """The id-rank-filtered N2^k index the Basic baseline uses
         (always anchored on U, candidates restricted to larger ids)."""
-        key = (LAYER_U, int(k), "id")
-        got = self._indexes.get(key)
-        if got is None:
-            self.stats.index_builds += 1
-            ids = np.arange(self._graph.num_u, dtype=np.int64)
-            got = self.wedges(LAYER_U).two_hop_index(k, min_priority_rank=ids)
-            self._indexes[key] = got
-        return got
+        with self._lock:
+            key = (LAYER_U, int(k), "id")
+            got = self._indexes.get(key)
+            if got is None:
+                self.stats.index_builds += 1
+                ids = np.arange(self._graph.num_u, dtype=np.int64)
+                got = self.wedges(LAYER_U).two_hop_index(
+                    k, min_priority_rank=ids)
+                self._indexes[key] = got
+            return got
 
     def htb_pair(self, layer: str, k: int) -> tuple[HTB, HTB]:
         """GBC's two HTBs: 1-hop adjacency (per layer) and N2^k lists
         (per layer, k)."""
-        htb1 = self._htb_adj.get(layer)
-        if htb1 is None:
-            self.stats.htb_adj_builds += 1
-            htb1 = htb_from_graph(self.anchored(layer), LAYER_U)
-            self._htb_adj[layer] = htb1
-        key = (layer, int(k))
-        htb2 = self._htb_two_hop.get(key)
-        if htb2 is None:
-            self.stats.htb_two_hop_builds += 1
-            htb2 = htb_from_two_hop(self.two_hop_index(layer, k))
-            self._htb_two_hop[key] = htb2
-        return htb1, htb2
+        with self._lock:
+            htb1 = self._htb_adj.get(layer)
+            if htb1 is None:
+                self.stats.htb_adj_builds += 1
+                htb1 = htb_from_graph(self.anchored(layer), LAYER_U)
+                self._htb_adj[layer] = htb1
+            key = (layer, int(k))
+            htb2 = self._htb_two_hop.get(key)
+            if htb2 is None:
+                self.stats.htb_two_hop_builds += 1
+                htb2 = htb_from_two_hop(self.two_hop_index(layer, k))
+                self._htb_two_hop[key] = htb2
+            return htb1, htb2
 
     def prepared(self, query: BicliqueQuery, layer: str | None = None):
         """The :class:`~repro.core.device_common.DeviceInputs` for one
@@ -341,19 +385,20 @@ class GraphSession:
         structures and cached results were invalidated), False when the
         graph is untouched and every cache is kept.
         """
-        fp = graph_fingerprint(self._graph)
-        if fp == self._fingerprint:
-            return False
-        self._fingerprint = fp
-        self._anchored = {LAYER_U: self._graph}
-        self._wedges.clear()
-        self._orders.clear()
-        self._ranks.clear()
-        self._indexes.clear()
-        self._htb_adj.clear()
-        self._htb_two_hop.clear()
-        self.results.clear()
-        return True
+        with self._lock:
+            fp = graph_fingerprint(self._graph)
+            if fp == self._fingerprint:
+                return False
+            self._fingerprint = fp
+            self._anchored = {LAYER_U: self._graph}
+            self._wedges.clear()
+            self._orders.clear()
+            self._ranks.clear()
+            self._indexes.clear()
+            self._htb_adj.clear()
+            self._htb_two_hop.clear()
+            self.results.clear()
+            return True
 
     # -- counting through the result cache -----------------------------
     def count(self, query: BicliqueQuery, method: str = "GBC", *,

@@ -1,0 +1,309 @@
+"""Micro-batching scheduler: many concurrent clients, one count per batch.
+
+Clients — threads or asyncio tasks — submit individual ``(graph, method,
+p, q)`` requests and get a future back.  The scheduler coalesces
+requests that target the same ``(graph, method)`` within a small
+time/size window into one shared-session evaluation (the same
+amortisation :func:`repro.query.batch_count` gives a hand-written batch),
+executes batches on a small pool of worker threads, and resolves each
+request's future with the exact :class:`~repro.core.counts.CountResult`
+a direct call would have produced.
+
+Operationally it behaves like a bounded service, not a script:
+
+* **admission control** — at most ``max_pending`` requests may be queued;
+  past that, :meth:`submit` fails fast with
+  :class:`~repro.errors.QueueFullError` so overload surfaces as
+  backpressure instead of unbounded memory growth;
+* **deadlines** — a per-request ``deadline=`` (seconds from submission)
+  expires the request with
+  :class:`~repro.errors.DeadlineExceededError` if a worker has not
+  started it in time;
+* **graceful shutdown** — :meth:`close` drains queued work by default,
+  or fails it fast with :class:`~repro.errors.ServiceClosedError` when
+  ``drain=False``.
+
+Batching never changes answers: a batch executes through the pooled
+:class:`~repro.query.GraphSession`, whose counts are bit-identical to
+direct single-query calls on every backend (tested in
+``tests/service/``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+
+from repro.core.counts import BicliqueQuery, CountResult
+from repro.errors import (DeadlineExceededError, QueueFullError,
+                          ServiceClosedError, ServiceError)
+from repro.service.pool import SessionPool
+from repro.service.telemetry import Telemetry
+
+__all__ = ["Scheduler", "SchedulerConfig"]
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Tunables of one :class:`Scheduler` (see ``docs/SERVING.md``)."""
+
+    #: seconds a batch stays open for co-arriving requests; 0 disables
+    #: time-based coalescing (batches still form under queue pressure)
+    batch_window: float = 0.002
+    #: hard per-batch size cap; a full batch dispatches immediately
+    max_batch: int = 64
+    #: admission bound: queued-but-unstarted requests across all graphs
+    max_pending: int = 1024
+    #: worker threads executing batches (one batch each, concurrently)
+    workers: int = 2
+    #: kernel backend every batch runs on ("sim" / "fast" / "par")
+    backend: str = "fast"
+    #: worker processes for the "par" backend (None = backend default)
+    backend_workers: int | None = None
+    #: default counting method for requests that do not name one
+    method: str = "GBC"
+
+    def __post_init__(self) -> None:
+        if self.batch_window < 0:
+            raise ServiceError(
+                f"batch_window must be >= 0, got {self.batch_window}")
+        if self.max_batch < 1:
+            raise ServiceError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_pending < 1:
+            raise ServiceError(
+                f"max_pending must be >= 1, got {self.max_pending}")
+        if self.workers < 1:
+            raise ServiceError(f"workers must be >= 1, got {self.workers}")
+
+
+@dataclass
+class _Request:
+    query: BicliqueQuery
+    method: str
+    future: Future
+    submitted_at: float
+    deadline_at: float | None   # absolute monotonic, None = no deadline
+
+
+@dataclass
+class _Bucket:
+    opened_at: float
+    items: list[_Request] = field(default_factory=list)
+
+
+class Scheduler:
+    """Accepts concurrent count requests and serves them in micro-batches.
+
+    ``pool`` supplies (and bounds) the per-graph prepared state; the
+    scheduler owns only queues and worker threads, so closing it never
+    discards prepared sessions.  Constructed schedulers are live
+    immediately; use as a context manager for deterministic teardown::
+
+        with Scheduler(pool) as sched:
+            future = sched.submit("yt", 3, 3)
+            result = future.result()
+    """
+
+    def __init__(self, pool: SessionPool,
+                 config: SchedulerConfig | None = None,
+                 telemetry: Telemetry | None = None,
+                 **overrides) -> None:
+        if config is not None and overrides:
+            raise ServiceError("pass config= or keyword tunables, not both")
+        self.pool = pool
+        self.config = config or SchedulerConfig(**overrides)
+        self.telemetry = telemetry or Telemetry()
+        self._cond = threading.Condition()
+        self._buckets: dict[tuple[str, str], _Bucket] = {}
+        self._pending = 0
+        self._closed = False
+        self._drain = True
+        self._workers = [
+            threading.Thread(target=self._worker_loop,
+                             name=f"repro-serve-{i}", daemon=True)
+            for i in range(self.config.workers)]
+        for t in self._workers:
+            t.start()
+
+    # -- client API ----------------------------------------------------
+    def submit(self, graph: str, p: int | BicliqueQuery,
+               q: int | None = None, *, method: str | None = None,
+               deadline: float | None = None) -> "Future[CountResult]":
+        """Enqueue one count request; returns its future immediately.
+
+        ``graph`` is a name registered on the pool; ``p``/``q`` are the
+        biclique sides (or ``p`` is a ready
+        :class:`~repro.core.counts.BicliqueQuery`); ``deadline`` is a
+        budget in seconds — if no worker has started the request when it
+        lapses, the future fails with
+        :class:`~repro.errors.DeadlineExceededError`.
+
+        Raises :class:`~repro.errors.QueueFullError` when ``max_pending``
+        requests are already queued, and
+        :class:`~repro.errors.ServiceClosedError` after :meth:`close`.
+        Both are admission failures: the request was never queued.
+        """
+        query = p if isinstance(p, BicliqueQuery) else BicliqueQuery(p, q)
+        if deadline is not None and deadline <= 0:
+            raise ServiceError(f"deadline must be > 0 seconds, "
+                               f"got {deadline}")
+        now = time.monotonic()
+        req = _Request(
+            query=query,
+            method=method or self.config.method,
+            future=Future(),
+            submitted_at=now,
+            deadline_at=None if deadline is None else now + deadline)
+        with self._cond:
+            if self._closed:
+                self.telemetry.record_rejected()
+                raise ServiceClosedError("scheduler is closed")
+            if self._pending >= self.config.max_pending:
+                self.telemetry.record_rejected()
+                raise QueueFullError(
+                    f"{self._pending} requests already pending "
+                    f"(max_pending={self.config.max_pending})")
+            bucket = self._buckets.get((graph, req.method))
+            if bucket is None:
+                bucket = _Bucket(opened_at=now)
+                self._buckets[(graph, req.method)] = bucket
+            bucket.items.append(req)
+            self._pending += 1
+            self.telemetry.record_submit(self._pending)
+            self._cond.notify_all()
+        return req.future
+
+    async def submit_async(self, graph: str, p: int | BicliqueQuery,
+                           q: int | None = None, *,
+                           method: str | None = None,
+                           deadline: float | None = None) -> CountResult:
+        """Asyncio front-end: awaitable wrapper around :meth:`submit`.
+
+        Admission failures raise immediately (synchronously inside the
+        coroutine); everything else resolves through the event loop.
+        """
+        future = self.submit(graph, p, q, method=method, deadline=deadline)
+        return await asyncio.wrap_future(future)
+
+    def count(self, graph: str, p: int | BicliqueQuery,
+              q: int | None = None, *, method: str | None = None,
+              deadline: float | None = None,
+              timeout: float | None = None) -> CountResult:
+        """Synchronous convenience: submit and wait for the result."""
+        return self.submit(graph, p, q, method=method,
+                           deadline=deadline).result(timeout=timeout)
+
+    def pending(self) -> int:
+        """Requests queued but not yet handed to a worker."""
+        with self._cond:
+            return self._pending
+
+    def close(self, drain: bool = True, timeout: float | None = None) -> None:
+        """Stop admitting requests and shut the workers down.
+
+        With ``drain=True`` (default) queued batches still execute;
+        with ``drain=False`` every queued request fails fast with
+        :class:`~repro.errors.ServiceClosedError`.  Idempotent.
+        """
+        with self._cond:
+            self._closed = True
+            self._drain = drain
+            if not drain:
+                for bucket in self._buckets.values():
+                    for req in bucket.items:
+                        if req.future.set_running_or_notify_cancel():
+                            req.future.set_exception(
+                                ServiceClosedError("scheduler closed "
+                                                   "before execution"))
+                self._pending -= sum(len(b.items)
+                                     for b in self._buckets.values())
+                self._buckets.clear()
+            self._cond.notify_all()
+        for t in self._workers:
+            t.join(timeout=timeout)
+
+    def __enter__(self) -> "Scheduler":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- worker side ---------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            picked = self._next_batch()
+            if picked is None:
+                return
+            graph, requests = picked
+            self._execute(graph, requests)
+
+    def _next_batch(self) -> tuple[str, list[_Request]] | None:
+        """Block until a bucket is ready (full, aged past the window, or
+        draining at close), pop and return it; None means shut down."""
+        cfg = self.config
+        with self._cond:
+            while True:
+                if self._closed and not self._buckets:
+                    return None
+                now = time.monotonic()
+                best_key, best_ready = None, None
+                for key, bucket in self._buckets.items():
+                    ready_at = bucket.opened_at + cfg.batch_window
+                    if len(bucket.items) >= cfg.max_batch or self._closed:
+                        ready_at = now
+                    if best_ready is None or ready_at < best_ready:
+                        best_key, best_ready = key, ready_at
+                if best_key is None:
+                    self._cond.wait()
+                    continue
+                if best_ready <= now:
+                    bucket = self._buckets.pop(best_key)
+                    # oversize buckets dispatch max_batch and stay open
+                    take = bucket.items[:cfg.max_batch]
+                    rest = bucket.items[cfg.max_batch:]
+                    if rest:
+                        self._buckets[best_key] = _Bucket(
+                            opened_at=bucket.opened_at, items=rest)
+                    self._pending -= len(take)
+                    return best_key[0], take
+                self._cond.wait(timeout=best_ready - now)
+
+    def _execute(self, graph: str, requests: list[_Request]) -> None:
+        cfg = self.config
+        now = time.monotonic()
+        live: list[_Request] = []
+        for req in requests:
+            if not req.future.set_running_or_notify_cancel():
+                continue                       # client cancelled it
+            if req.deadline_at is not None and now > req.deadline_at:
+                req.future.set_exception(DeadlineExceededError(
+                    f"deadline passed {now - req.deadline_at:.3f}s before "
+                    f"execution of {req.query} on {graph!r}"))
+                self.telemetry.record_expired()
+                continue
+            live.append(req)
+        if not live:
+            return
+        self.telemetry.record_batch(len(live))
+        try:
+            session = self.pool.session(graph)
+        except Exception as exc:               # unknown graph, loader bug
+            for req in live:
+                req.future.set_exception(exc)
+                self.telemetry.record_failed()
+            return
+        for req in live:
+            try:
+                result = session.count(req.query, req.method,
+                                       backend=cfg.backend,
+                                       workers=cfg.backend_workers)
+            except Exception as exc:
+                req.future.set_exception(exc)
+                self.telemetry.record_failed()
+                continue
+            req.future.set_result(result)
+            self.telemetry.record_completed(
+                time.monotonic() - req.submitted_at)

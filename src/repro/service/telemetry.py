@@ -1,0 +1,145 @@
+"""Serving telemetry: throughput, queue depth, batch sizes, latency.
+
+One :class:`Telemetry` instance rides along with a
+:class:`~repro.service.scheduler.Scheduler` and records every event the
+serving path emits — request admitted / rejected / expired / completed /
+failed, batch executed, queue depth observed.  Everything is guarded by
+one lock (events arrive from every client and worker thread at once) and
+exposed as a JSON-serialisable :meth:`snapshot`, which is what the
+``serve-bench`` artifact and the CI smoke step consume.
+
+Latencies are kept as raw samples up to ``max_latency_samples`` and
+summarised into percentiles at snapshot time; past the cap a simple
+deterministic decimation keeps every ``k``-th sample so long runs stay
+bounded without a dependency on reservoir randomness.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from collections import Counter
+
+__all__ = ["Telemetry", "percentile"]
+
+
+def percentile(samples: list[float], pct: float) -> float:
+    """The ``pct``-th percentile of ``samples`` (nearest-rank).
+
+    >>> percentile([4.0, 1.0, 3.0, 2.0], 50)
+    2.0
+    >>> percentile([4.0, 1.0, 3.0, 2.0], 100)
+    4.0
+    >>> percentile([1.0, 3.0], 50)
+    1.0
+    """
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = max(0, min(len(ordered) - 1,
+                      math.ceil(pct / 100.0 * len(ordered)) - 1))
+    return ordered[rank]
+
+
+class Telemetry:
+    """Thread-safe event counters and distributions for one scheduler."""
+
+    def __init__(self, max_latency_samples: int = 100_000) -> None:
+        self.max_latency_samples = int(max_latency_samples)
+        self._lock = threading.Lock()
+        self._started_at = time.monotonic()
+        self.submitted = 0
+        self.rejected = 0      #: admission failures (queue full / closed)
+        self.expired = 0       #: deadlines missed before execution
+        self.completed = 0
+        self.failed = 0        #: requests whose execution raised
+        self.batches = 0
+        self._batch_sizes: Counter[int] = Counter()
+        self._queue_depth_last = 0
+        self._queue_depth_max = 0
+        self._latencies_ms: list[float] = []
+        self._latency_stride = 1
+        self._latency_seen = 0
+
+    # -- event sinks ---------------------------------------------------
+    def record_submit(self, queue_depth: int) -> None:
+        with self._lock:
+            self.submitted += 1
+            self._queue_depth_last = queue_depth
+            self._queue_depth_max = max(self._queue_depth_max, queue_depth)
+
+    def record_rejected(self) -> None:
+        with self._lock:
+            self.rejected += 1
+
+    def record_expired(self, n: int = 1) -> None:
+        with self._lock:
+            self.expired += n
+
+    def record_batch(self, size: int) -> None:
+        with self._lock:
+            self.batches += 1
+            self._batch_sizes[int(size)] += 1
+
+    def record_completed(self, latency_seconds: float) -> None:
+        with self._lock:
+            self.completed += 1
+            self._record_latency(latency_seconds * 1e3)
+
+    def record_failed(self) -> None:
+        with self._lock:
+            self.failed += 1
+
+    def _record_latency(self, ms: float) -> None:
+        self._latency_seen += 1
+        if self._latency_seen % self._latency_stride:
+            return
+        self._latencies_ms.append(ms)
+        if len(self._latencies_ms) >= self.max_latency_samples:
+            # decimate in place and sample half as often from here on
+            self._latencies_ms = self._latencies_ms[::2]
+            self._latency_stride *= 2
+
+    # -- reporting -----------------------------------------------------
+    def elapsed_seconds(self) -> float:
+        return time.monotonic() - self._started_at
+
+    def snapshot(self) -> dict:
+        """A JSON-serialisable view of everything recorded so far.
+
+        Throughput is completed requests per elapsed second since the
+        telemetry was created (i.e. since the scheduler started).
+        """
+        with self._lock:
+            elapsed = self.elapsed_seconds()
+            sizes = self._batch_sizes
+            total_batched = sum(s * n for s, n in sizes.items())
+            lat = self._latencies_ms
+            return {
+                "elapsed_seconds": elapsed,
+                "submitted": self.submitted,
+                "rejected": self.rejected,
+                "expired": self.expired,
+                "completed": self.completed,
+                "failed": self.failed,
+                "throughput_qps": (self.completed / elapsed) if elapsed > 0
+                                  else 0.0,
+                "queue_depth": {"last": self._queue_depth_last,
+                                "max": self._queue_depth_max},
+                "batches": {
+                    "count": self.batches,
+                    "mean_size": (total_batched / self.batches)
+                                 if self.batches else 0.0,
+                    "max_size": max(sizes) if sizes else 0,
+                    "histogram": {str(s): n for s, n in sorted(sizes.items())},
+                },
+                "latency_ms": {
+                    "samples": len(lat),
+                    "mean": (sum(lat) / len(lat)) if lat else 0.0,
+                    "p50": percentile(lat, 50),
+                    "p90": percentile(lat, 90),
+                    "p99": percentile(lat, 99),
+                    "max": max(lat) if lat else 0.0,
+                },
+            }

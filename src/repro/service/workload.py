@@ -1,0 +1,287 @@
+"""Declarative query workloads for the serving layer.
+
+A :class:`WorkloadSpec` describes a mixed query stream the way the
+μBench-style replication packages describe theirs — a small, fully
+serialisable record (graph popularity skew, query-shape mix, load mode,
+duration) from which the exact stream can be regenerated bit-for-bit
+from its seed.  Two load modes:
+
+* **closed loop** — ``clients`` threads each keep exactly one request in
+  flight (submit, wait, repeat): throughput measures service capacity;
+* **open loop** — one pacer submits at ``rate_qps`` regardless of
+  completions: queue depth and backpressure measure overload behaviour.
+
+Graph popularity is zipf-skewed (rank ``i`` drawn with weight
+``1 / (i+1)**zipf_s``), matching the few-hot-graphs-many-cold traffic a
+shared serving tier actually sees; query shapes are drawn from a
+weighted mix.  :func:`run_workload` drives a
+:class:`~repro.service.scheduler.Scheduler` with the stream and returns
+everything needed for a benchmark artifact.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import DeadlineExceededError, QueueFullError, ServiceError
+
+__all__ = ["WorkloadSpec", "WorkloadResult", "ServedQuery",
+           "generate_requests", "run_workload"]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A reproducible mixed query stream, declaratively.
+
+    ``shapes`` maps each ``(p, q)`` shape to a draw weight; ``graphs``
+    are pool-registered names ranked hot-to-cold for the zipf draw.
+    ``duration_seconds`` (when set) takes precedence over
+    ``num_queries`` and runs the stream for wall time instead of count.
+    """
+
+    graphs: tuple[str, ...]
+    shapes: tuple[tuple[int, int], ...] = ((2, 2), (2, 3), (3, 3))
+    shape_weights: tuple[float, ...] | None = None
+    num_queries: int = 200
+    duration_seconds: float | None = None
+    mode: str = "closed"            #: "closed" or "open"
+    clients: int = 4                #: closed-loop threads
+    rate_qps: float = 200.0         #: open-loop submission rate
+    zipf_s: float = 1.1             #: graph-popularity skew exponent
+    method: str = "GBC"
+    deadline: float | None = None   #: per-request deadline (seconds)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.graphs:
+            raise ServiceError("workload needs at least one graph name")
+        if not self.shapes:
+            raise ServiceError("workload needs at least one (p, q) shape")
+        if self.mode not in ("closed", "open"):
+            raise ServiceError(f"mode must be 'closed' or 'open', "
+                               f"got {self.mode!r}")
+        if self.shape_weights is not None \
+                and len(self.shape_weights) != len(self.shapes):
+            raise ServiceError(
+                f"{len(self.shape_weights)} shape_weights for "
+                f"{len(self.shapes)} shapes")
+        if self.mode == "open" and self.rate_qps <= 0:
+            raise ServiceError(f"open-loop rate_qps must be > 0, "
+                               f"got {self.rate_qps}")
+        if self.clients < 1:
+            raise ServiceError(f"clients must be >= 1, got {self.clients}")
+
+    def as_dict(self) -> dict:
+        return {
+            "graphs": list(self.graphs),
+            "shapes": [list(s) for s in self.shapes],
+            "shape_weights": None if self.shape_weights is None
+                             else list(self.shape_weights),
+            "num_queries": self.num_queries,
+            "duration_seconds": self.duration_seconds,
+            "mode": self.mode,
+            "clients": self.clients,
+            "rate_qps": self.rate_qps,
+            "zipf_s": self.zipf_s,
+            "method": self.method,
+            "deadline": self.deadline,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WorkloadSpec":
+        """Build a spec from a JSON-shaped dict (unknown keys rejected)."""
+        known = set(cls.__dataclass_fields__)
+        unknown = set(data) - known
+        if unknown:
+            raise ServiceError(f"unknown workload keys: {sorted(unknown)}")
+        data = dict(data)
+        if "graphs" in data:
+            data["graphs"] = tuple(data["graphs"])
+        if data.get("shapes") is not None:
+            data["shapes"] = tuple((int(p), int(q))
+                                   for p, q in data["shapes"])
+        if data.get("shape_weights") is not None:
+            data["shape_weights"] = tuple(float(w)
+                                          for w in data["shape_weights"])
+        return cls(**data)
+
+
+def _zipf_weights(n: int, s: float) -> np.ndarray:
+    w = 1.0 / np.arange(1, n + 1, dtype=np.float64) ** s
+    return w / w.sum()
+
+
+def generate_requests(spec: WorkloadSpec, n: int,
+                      seed_offset: int = 0) -> list[tuple[str, int, int]]:
+    """The first ``n`` requests of the spec's stream, as
+    ``(graph, p, q)`` triples — deterministic in ``(seed, seed_offset)``.
+
+    ``seed_offset`` derives disjoint per-client streams from one spec.
+    """
+    return _generate_chunk(spec, n, seed_offset)
+
+
+def _generate_chunk(spec: WorkloadSpec, n: int,
+                    seed_offset: int) -> list[tuple[str, int, int]]:
+    rng = np.random.default_rng((spec.seed, seed_offset))
+    gw = _zipf_weights(len(spec.graphs), spec.zipf_s)
+    if spec.shape_weights is None:
+        sw = np.full(len(spec.shapes), 1.0 / len(spec.shapes))
+    else:
+        sw = np.asarray(spec.shape_weights, dtype=np.float64)
+        sw = sw / sw.sum()
+    graph_idx = rng.choice(len(spec.graphs), size=n, p=gw)
+    shape_idx = rng.choice(len(spec.shapes), size=n, p=sw)
+    return [(spec.graphs[g], *spec.shapes[s])
+            for g, s in zip(graph_idx, shape_idx)]
+
+
+def _endless_stream(spec: WorkloadSpec, seed_offset: int, stride: int):
+    """An inexhaustible deterministic request stream: chunk after chunk
+    of :func:`generate_requests`, advancing ``seed_offset`` by
+    ``stride`` so concurrent clients' continuations never collide.
+    Duration-bounded workloads must never run dry mid-run."""
+    chunk = max(spec.num_queries, 1024)
+    while True:
+        yield from _generate_chunk(spec, chunk, seed_offset)
+        seed_offset += stride
+
+
+@dataclass(frozen=True)
+class ServedQuery:
+    """One completed request and the count it was served."""
+
+    graph: str
+    p: int
+    q: int
+    count: int
+
+
+@dataclass
+class WorkloadResult:
+    """Outcome of one :func:`run_workload` drive."""
+
+    spec: WorkloadSpec
+    served: list[ServedQuery]
+    issued: int = 0
+    rejected: int = 0          #: admission failures (queue full)
+    expired: int = 0           #: deadline misses
+    failed: int = 0            #: other per-request errors
+    wall_seconds: float = 0.0
+
+    @property
+    def completed(self) -> int:
+        return len(self.served)
+
+    @property
+    def throughput_qps(self) -> float:
+        return self.completed / self.wall_seconds \
+            if self.wall_seconds > 0 else 0.0
+
+    def as_dict(self) -> dict:
+        return {"spec": self.spec.as_dict(), "issued": self.issued,
+                "completed": self.completed, "rejected": self.rejected,
+                "expired": self.expired, "failed": self.failed,
+                "wall_seconds": self.wall_seconds,
+                "throughput_qps": self.throughput_qps}
+
+
+def _classify(outcome: "WorkloadResult", exc: Exception) -> None:
+    if isinstance(exc, DeadlineExceededError):
+        outcome.expired += 1
+    elif isinstance(exc, QueueFullError):
+        outcome.rejected += 1
+    else:
+        outcome.failed += 1
+
+
+def run_workload(scheduler, spec: WorkloadSpec) -> WorkloadResult:
+    """Drive ``scheduler`` with the spec's stream and collect outcomes.
+
+    Closed loop: ``spec.clients`` threads submit-and-wait until the
+    query budget (or ``duration_seconds``) is spent.  Open loop: one
+    pacer thread submits at ``rate_qps`` and outcomes are gathered at
+    the end.  Counts of every completed request are returned so callers
+    can verify them against direct single-query runs.
+    """
+    outcome = WorkloadResult(spec=spec, served=[])
+    lock = threading.Lock()
+    t0 = time.monotonic()
+    stop_at = None if spec.duration_seconds is None \
+        else t0 + spec.duration_seconds
+
+    def settle(graph: str, p: int, q: int, future) -> None:
+        # any exception, not just ReproError: the scheduler parks
+        # whatever a loader or counter raised on the future, and a
+        # workload drive must record it, never die with it
+        try:
+            result = future.result()
+        except Exception as exc:
+            with lock:
+                _classify(outcome, exc)
+            return
+        with lock:
+            outcome.served.append(ServedQuery(graph, p, q, result.count))
+
+    if spec.mode == "closed":
+        budget = threading.Semaphore(spec.num_queries) \
+            if stop_at is None else None
+
+        def client(client_id: int) -> None:
+            stream = _endless_stream(spec, seed_offset=client_id,
+                                     stride=spec.clients)
+            for graph, p, q in stream:
+                if stop_at is not None:
+                    if time.monotonic() >= stop_at:
+                        return
+                elif not budget.acquire(blocking=False):
+                    return
+                try:
+                    future = scheduler.submit(graph, p, q,
+                                              method=spec.method,
+                                              deadline=spec.deadline)
+                except Exception as exc:
+                    with lock:
+                        outcome.issued += 1
+                        _classify(outcome, exc)
+                    continue
+                with lock:
+                    outcome.issued += 1
+                settle(graph, p, q, future)
+
+        threads = [threading.Thread(target=client, args=(i,), daemon=True)
+                   for i in range(spec.clients)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+    else:
+        interval = 1.0 / spec.rate_qps
+        inflight: list[tuple[str, int, int, object]] = []
+        n = spec.num_queries if stop_at is None \
+            else max(1, int(spec.rate_qps * spec.duration_seconds * 2))
+        for i, (graph, p, q) in enumerate(generate_requests(spec, n)):
+            target = t0 + i * interval
+            delay = target - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
+            if stop_at is not None and time.monotonic() >= stop_at:
+                break
+            outcome.issued += 1
+            try:
+                inflight.append(
+                    (graph, p, q,
+                     scheduler.submit(graph, p, q, method=spec.method,
+                                      deadline=spec.deadline)))
+            except Exception as exc:
+                _classify(outcome, exc)
+        for graph, p, q, future in inflight:
+            settle(graph, p, q, future)
+
+    outcome.wall_seconds = time.monotonic() - t0
+    return outcome

@@ -30,6 +30,42 @@ class TestParseQueries:
         with pytest.raises(QueryError):
             parse_queries(bad)
 
+    def test_truncated_spec_names_the_missing_side(self):
+        with pytest.raises(QueryError, match=r"'3x'.*missing q"):
+            parse_queries("3x")
+        with pytest.raises(QueryError, match=r"'x3'.*missing p"):
+            parse_queries("x3")
+        with pytest.raises(QueryError, match=r"'x'.*missing p and q"):
+            parse_queries("x")
+
+    def test_zero_sized_spec_names_the_bound(self):
+        with pytest.raises(QueryError, match=r"'0x3'.*>= 1.*\(0, 3\)"):
+            parse_queries("0x3")
+
+    @pytest.mark.parametrize("bad, got", [
+        ("-1x3", "(-1, 3)"), ("3x-2", "(3, -2)"), ("-1x-1", "(-1, -1)"),
+    ])
+    def test_negative_sizes_name_the_bound(self, bad, got):
+        with pytest.raises(QueryError) as exc:
+            parse_queries(bad)
+        assert repr(bad) in str(exc.value)
+        assert got in str(exc.value)
+
+    def test_negative_pair_rejected_like_strings(self):
+        with pytest.raises(QueryError, match=r">= 1.*\(2, -1\)"):
+            parse_queries([(2, -1)])
+
+    def test_non_integer_side_is_called_out(self):
+        with pytest.raises(QueryError, match=r"'3\.5x2'.*integers"):
+            parse_queries("3.5x2")
+
+    def test_malformed_specs_are_value_errors(self):
+        """QueryError doubles as ValueError, so callers can use the
+        standard-library idiom for bad-value input."""
+        for bad in ("3x", "0x3", "-1x3"):
+            with pytest.raises(ValueError):
+                parse_queries(bad)
+
 
 class TestBatchCount:
     def test_raw_graph_gets_fresh_session(self):

@@ -1,0 +1,92 @@
+"""serve_bench: artifact shape, correctness oracle, CLI integration."""
+
+import json
+
+import pytest
+
+from repro.graph.generators import random_bipartite
+from repro.service.bench import serve_bench, verify_served, write_artifact
+from repro.service.workload import ServedQuery, WorkloadResult, WorkloadSpec
+
+GRAPHS = {
+    "x": random_bipartite(30, 20, 120, seed=11),
+    "y": random_bipartite(25, 20, 100, seed=12),
+}
+SPEC = WorkloadSpec(graphs=("x", "y"), num_queries=30, clients=4, seed=6)
+
+
+class TestServeBench:
+    def test_artifact_shape_and_verification(self):
+        artifact = serve_bench(GRAPHS, SPEC, naive_limit=10)
+        assert artifact["kind"] == "serve_bench"
+        assert artifact["served"]["completed"] == 30
+        assert artifact["served"]["throughput_qps"] > 0
+        assert artifact["naive"]["requests"] == 10
+        assert artifact["naive"]["throughput_qps"] > 0
+        assert artifact["speedup_vs_naive"] > 0
+        assert artifact["verified"] is True
+        assert artifact["mismatches"] == []
+        assert artifact["telemetry"]["completed"] == 30
+        assert artifact["pool"]["registered"] == 2
+        json.dumps(artifact)        # fully serialisable
+
+    def test_verify_skippable(self):
+        artifact = serve_bench(GRAPHS, SPEC, naive_limit=5, verify=False)
+        assert artifact["verified"] is False
+        assert artifact["mismatches"] == "skipped"
+
+    def test_verify_served_catches_wrong_counts(self):
+        result = WorkloadResult(
+            spec=SPEC, served=[ServedQuery("x", 2, 2, count=-1)])
+        mismatches = verify_served(GRAPHS, result)
+        assert len(mismatches) == 1
+        assert mismatches[0]["graph"] == "x"
+        assert mismatches[0]["served"] == [-1]
+
+    def test_write_artifact_creates_dirs(self, tmp_path):
+        target = tmp_path / "deep" / "BENCH_serve.json"
+        path = write_artifact({"kind": "serve_bench"}, target)
+        assert path == target
+        assert json.loads(target.read_text())["kind"] == "serve_bench"
+
+    def test_runner_entry_point_delegates(self):
+        from repro.bench.runner import run_serve_bench
+
+        artifact = run_serve_bench(GRAPHS, SPEC, naive_limit=5,
+                                   verify=False)
+        assert artifact["kind"] == "serve_bench"
+
+
+class TestCli:
+    def test_serve_bench_smoke(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out_path = tmp_path / "BENCH_serve.json"
+        code = main(["serve-bench", "--graphs", "YT,S1", "--scale", "tiny",
+                     "--queries", "40", "--clients", "4",
+                     "--naive-limit", "10", "--output", str(out_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "serve-bench" in out
+        assert "verified" in out
+        artifact = json.loads(out_path.read_text())
+        assert artifact["mismatches"] == []
+        assert artifact["served"]["completed"] == 40
+        assert artifact["telemetry"]["throughput_qps"] > 0
+
+    def test_unknown_graph_key_is_a_usage_error(self, capsys):
+        from repro.cli import main
+
+        assert main(["serve-bench", "--graphs", "NOPE"]) == 2
+        assert "unknown dataset" in capsys.readouterr().err
+
+    def test_open_loop_smoke(self, tmp_path):
+        from repro.cli import main
+
+        out_path = tmp_path / "BENCH_serve.json"
+        code = main(["serve-bench", "--graphs", "YT", "--scale", "tiny",
+                     "--mode", "open", "--queries", "30", "--rate", "500",
+                     "--naive-limit", "5", "--output", str(out_path)])
+        assert code == 0
+        artifact = json.loads(out_path.read_text())
+        assert artifact["spec"]["mode"] == "open"

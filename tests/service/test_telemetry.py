@@ -1,0 +1,95 @@
+"""Telemetry: counters, distributions, snapshot shape, thread safety."""
+
+import json
+import threading
+
+from repro.service.telemetry import Telemetry, percentile
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert percentile([], 50) == 0.0
+
+    def test_nearest_rank(self):
+        data = [10.0, 20.0, 30.0, 40.0]
+        assert percentile(data, 50) == 20.0
+        assert percentile(data, 90) == 40.0
+        assert percentile(data, 100) == 40.0
+
+    def test_single_sample(self):
+        assert percentile([7.0], 99) == 7.0
+
+    def test_half_integer_ranks_round_down_not_bankers(self):
+        # ceil(0.5 * 2) = 1 -> first sample; int(round(x + .5)) used to
+        # banker's-round this to the second
+        assert percentile([1.0, 3.0], 50) == 1.0
+        assert percentile([float(i) for i in range(1, 11)], 90) == 9.0
+
+
+class TestTelemetry:
+    def test_snapshot_counts_events(self):
+        t = Telemetry()
+        t.record_submit(queue_depth=3)
+        t.record_submit(queue_depth=1)
+        t.record_batch(2)
+        t.record_completed(0.010)
+        t.record_completed(0.030)
+        t.record_rejected()
+        t.record_expired()
+        t.record_failed()
+        snap = t.snapshot()
+        assert snap["submitted"] == 2
+        assert snap["completed"] == 2
+        assert snap["rejected"] == 1
+        assert snap["expired"] == 1
+        assert snap["failed"] == 1
+        assert snap["queue_depth"] == {"last": 1, "max": 3}
+        assert snap["batches"]["count"] == 1
+        assert snap["batches"]["mean_size"] == 2.0
+        assert snap["latency_ms"]["samples"] == 2
+        assert 10.0 <= snap["latency_ms"]["p50"] <= 30.0
+        assert snap["throughput_qps"] > 0
+
+    def test_snapshot_is_json_serialisable(self):
+        t = Telemetry()
+        t.record_batch(3)
+        t.record_completed(0.001)
+        assert json.loads(json.dumps(t.snapshot()))["completed"] == 1
+
+    def test_batch_histogram_keys_are_strings(self):
+        t = Telemetry()
+        t.record_batch(1)
+        t.record_batch(1)
+        t.record_batch(4)
+        snap = t.snapshot()
+        assert snap["batches"]["histogram"] == {"1": 2, "4": 1}
+        assert snap["batches"]["max_size"] == 4
+
+    def test_latency_cap_decimates_not_grows(self):
+        t = Telemetry(max_latency_samples=64)
+        for i in range(1000):
+            t.record_completed(0.001 * (i + 1))
+        snap = t.snapshot()
+        assert snap["latency_ms"]["samples"] < 128
+        assert snap["completed"] == 1000      # counters stay exact
+        assert snap["latency_ms"]["max"] <= 1000.0
+
+    def test_concurrent_recording_is_exact(self):
+        t = Telemetry()
+        n, threads = 500, 8
+
+        def hammer():
+            for _ in range(n):
+                t.record_submit(queue_depth=1)
+                t.record_batch(1)
+                t.record_completed(0.001)
+
+        pool = [threading.Thread(target=hammer) for _ in range(threads)]
+        for th in pool:
+            th.start()
+        for th in pool:
+            th.join()
+        snap = t.snapshot()
+        assert snap["submitted"] == n * threads
+        assert snap["completed"] == n * threads
+        assert snap["batches"]["count"] == n * threads

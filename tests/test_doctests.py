@@ -13,10 +13,14 @@ import repro
 import repro.engine
 import repro.engine.base
 import repro.query
+import repro.service
+import repro.service.pool
+import repro.service.telemetry
 
-MODULES = [repro, repro.query, repro.engine, repro.engine.base]
+MODULES = [repro, repro.query, repro.engine, repro.engine.base,
+           repro.service, repro.service.pool, repro.service.telemetry]
 #: modules whose docstrings are required to carry at least one example
-MUST_HAVE_EXAMPLES = {repro, repro.query, repro.engine}
+MUST_HAVE_EXAMPLES = {repro, repro.query, repro.engine, repro.service}
 
 
 @pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)

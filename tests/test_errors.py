@@ -15,6 +15,10 @@ class TestHierarchy:
         errors.DeviceMemoryExceeded,
         errors.PartitionError,
         errors.ReorderError,
+        errors.ServiceError,
+        errors.QueueFullError,
+        errors.DeadlineExceededError,
+        errors.ServiceClosedError,
     ])
     def test_all_derive_from_repro_error(self, exc):
         assert issubclass(exc, errors.ReproError)
@@ -22,6 +26,15 @@ class TestHierarchy:
     def test_memory_errors_are_device_errors(self):
         assert issubclass(errors.SharedMemoryExceeded, errors.DeviceError)
         assert issubclass(errors.DeviceMemoryExceeded, errors.DeviceError)
+
+    def test_serving_failures_are_service_errors(self):
+        assert issubclass(errors.QueueFullError, errors.ServiceError)
+        assert issubclass(errors.DeadlineExceededError, errors.ServiceError)
+        assert issubclass(errors.ServiceClosedError, errors.ServiceError)
+
+    def test_query_error_is_a_value_error(self):
+        """Malformed query specs are bad values; both idioms must work."""
+        assert issubclass(errors.QueryError, ValueError)
 
     def test_single_catch_at_api_boundary(self):
         """Library misuse is catchable with one except clause."""

@@ -18,3 +18,12 @@ def test_batch_queries_example_runs(capsys):
     assert "batch results" in out
     assert "cache hit(s)" in out
     assert "verified" in out
+
+
+def test_serve_demo_example_runs(capsys):
+    runpy.run_path(str(EXAMPLES / "serve_demo.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "served 200 queries from 8 client threads" in out
+    assert "telemetry snapshot" in out
+    assert "bit-identical to direct runs" in out
+    assert "micro-batching" in out
