@@ -15,7 +15,6 @@ Three sweeps over GBC's tunables, each checking the design rationale:
 
 from dataclasses import replace
 
-import numpy as np
 
 from repro.bench.datasets import load_dataset
 from repro.bench.tables import render_table

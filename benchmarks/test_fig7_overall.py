@@ -9,7 +9,7 @@ mean(BCL/GBC) > mean(BCLP/GBC) > 1 and mean(GBL/GBC) > 1.
 
 import numpy as np
 
-from repro.bench.experiments import FIG7_QUERIES, experiment_fig7
+from repro.bench.experiments import experiment_fig7
 
 
 def test_fig7(benchmark, bench_scale, save_artifact):

@@ -5,7 +5,6 @@ runtime-only; the joint strategy is best in most scenarios (strictly so
 under heavy workloads).
 """
 
-import numpy as np
 
 from repro.bench.experiments import experiment_table4
 

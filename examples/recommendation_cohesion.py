@@ -15,14 +15,7 @@ communities plus noise, then:
 
 import numpy as np
 
-from repro import (
-    BicliqueQuery,
-    butterfly_count,
-    from_edges,
-    gbc_count,
-    planted_bicliques,
-)
-from repro.graph.bipartite import LAYER_U
+from repro import BicliqueQuery, butterfly_count, gbc_count, planted_bicliques
 
 
 def build_user_item_graph(seed: int = 7):

@@ -40,6 +40,9 @@ Packages:
 * :mod:`repro.parallel` — shard orchestration for multi-process counting.
 * :mod:`repro.partition` — BCPar and the METIS-like baseline.
 * :mod:`repro.core` — the counting algorithms (Basic, BCL, BCLP, GBL, GBC).
+* :mod:`repro.plan` — the cost-based query planner: a method registry
+  every counter self-registers into, a CountPlan IR, and the single
+  ``execute_plan`` dispatch site behind ``method="auto"``.
 * :mod:`repro.query` — the batched multi-query engine (GraphSession,
   batch_count, LRU result cache).
 * :mod:`repro.service` — the concurrent serving subsystem (bounded
@@ -89,6 +92,15 @@ from repro.graph import (
     write_edge_list,
 )
 from repro.gpu import DeviceSpec, rtx_3090, small_test_device
+from repro.plan import (
+    CountPlan,
+    MethodSpec,
+    Planner,
+    execute_plan,
+    method_names,
+    plan_query,
+    register_method,
+)
 from repro.query import (
     BatchResult,
     GraphSession,
@@ -120,6 +132,8 @@ __all__ = [
     "DeviceSpec", "rtx_3090", "small_test_device",
     "KernelBackend", "SimulatedDeviceBackend", "FastBackend",
     "ParallelBackend", "BACKEND_NAMES", "get_backend", "resolve_backend",
+    "CountPlan", "MethodSpec", "Planner", "execute_plan", "method_names",
+    "plan_query", "register_method",
     "GraphSession", "BatchResult", "ResultCache", "batch_count",
     "parse_queries", "graph_fingerprint",
     "SessionPool", "Scheduler", "SchedulerConfig", "Telemetry",

@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.bench.datasets import PAPER_STATS, load_dataset
 from repro.bench.figures import render_breakdown_bars, render_series
-from repro.bench.runner import MethodRun, headline_seconds, run_matrix, run_method
+from repro.bench.runner import MethodRun, run_matrix
 from repro.bench.tables import format_ratio, format_seconds, render_table
 from repro.core.bcl import bcl_count
 from repro.core.counts import BicliqueQuery

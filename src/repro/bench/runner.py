@@ -1,10 +1,16 @@
 """Experiment runner utilities shared by the benchmark harness.
 
-One uniform interface over the five algorithms: run a method by name,
-extract its *headline time* (wall seconds for CPU methods, simulated
-device seconds for GPU-model methods — the same convention the paper's
-figures use when plotting CPU and GPU bars side by side), and tabulate
-speedups.
+One uniform interface over the registered algorithms: run a method by
+name, extract its *headline time* (wall seconds for CPU methods,
+simulated device seconds for GPU-model methods — the same convention the
+paper's figures use when plotting CPU and GPU bars side by side), and
+tabulate speedups.
+
+Method dispatch itself lives in :mod:`repro.plan`: ``METHODS`` is the
+registry's listing and :func:`run_method` is a thin plan/execute
+wrapper, so a newly registered counter shows up here (and in the CLI,
+batch engine, and serving scheduler) without touching this module.
+``method="auto"`` asks the cost-based planner to choose.
 
 Backend selection rides along: experiments that plot transactions or
 simulated device time must force ``backend="sim"`` (the default), while
@@ -15,23 +21,25 @@ the instrumentation tax entirely.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-from repro.core.basic import basic_count
-from repro.core.bcl import bcl_count
-from repro.core.bclp import bclp_count
 from repro.core.counts import BicliqueQuery, CountResult, DeviceRunResult
-from repro.core.gbc import GBCOptions, gbc_count, gbc_variant
-from repro.core.gbl import gbl_count
 from repro.engine.base import KernelBackend
 from repro.gpu.device import DeviceSpec, rtx_3090
 from repro.graph.bipartite import BipartiteGraph
+from repro.plan import execute_plan, method_names, plan_query, warm_session
 
 __all__ = ["METHODS", "run_method", "headline_seconds", "MethodRun",
            "run_matrix", "speedup", "run_serve_bench"]
 
-METHODS = ("Basic", "BCL", "BCLP", "GBL", "GBC",
-           "GBC-NH", "GBC-NB", "GBC-NW")
+#: the registered method names, in registry listing order (``"auto"``
+#: additionally asks the planner to choose among the non-ablations).
+#: A tuple snapshot taken when this module is imported — kept for
+#: backwards compatibility with every existing ``METHODS`` consumer;
+#: code that must see counters registered *after* this import (e.g. a
+#: third-party drop-in) should call
+#: :func:`repro.plan.method_names` directly, as the CLI does.
+METHODS = method_names()
 
 
 @dataclass
@@ -43,6 +51,12 @@ class MethodRun:
     query: BicliqueQuery
     result: CountResult
     measure_seconds: float
+    #: per-graph shared-session preparation time (``run_matrix`` with
+    #: ``share_sessions=True`` warms every plan's prepared state up
+    #: front and charges it here, never to the first warm cell's
+    #: ``measure_seconds``); 0.0 for unshared runs, and the same value
+    #: on every cell of one graph
+    prepare_seconds: float = 0.0
 
     @property
     def count(self) -> int:
@@ -74,41 +88,29 @@ def run_method(method: str, graph: BipartiteGraph, query: BicliqueQuery,
                session=None,
                layer: str | None = None,
                options=None) -> CountResult:
-    """Dispatch one of the paper's methods by name.
+    """Run a registered method by name — a thin plan/execute wrapper.
 
-    ``workers`` selects sharded multi-process execution (the ``"par"``
-    backend) with that many processes; see
-    :func:`repro.engine.base.resolve_backend`.  ``session`` (a
-    :class:`repro.query.GraphSession` over ``graph``) lets consecutive
-    runs share the priority order, two-hop index and HTB structures.
-    ``layer`` pins the anchored layer (ignored by Basic, which always
-    anchors on U); ``options`` are GBC feature toggles — for ``GBC-*``
-    variant names they default to the named ablation.
+    The name resolves through the :mod:`repro.plan` registry (an
+    unregistered name raises
+    :class:`~repro.errors.UnknownMethodError`, a :class:`ValueError`);
+    ``method="auto"`` lets the cost-based
+    :class:`~repro.plan.planner.Planner` choose the method — and, when
+    no backend is named, the engine.  ``workers`` selects sharded
+    multi-process execution (the ``"par"`` backend) with that many
+    processes; see :func:`repro.engine.base.resolve_backend`.
+    ``session`` (a :class:`repro.query.GraphSession` over ``graph``)
+    lets consecutive runs share the priority order, two-hop index and
+    HTB structures.  ``layer`` pins the anchored layer (ignored by
+    Basic, which always anchors on U); ``options`` are GBC feature
+    toggles — for ``GBC-*`` variant names they default to the named
+    ablation.
     """
     spec = spec or rtx_3090()
-    if method == "Basic":
-        return basic_count(graph, query, backend=backend, workers=workers,
-                           session=session)
-    if method == "BCL":
-        return bcl_count(graph, query, layer=layer, backend=backend,
-                         workers=workers, session=session)
-    if method == "BCLP":
-        return bclp_count(graph, query, threads=threads, layer=layer,
-                          backend=backend, workers=workers, session=session)
-    if method == "GBL":
-        return gbl_count(graph, query, spec=spec, layer=layer,
-                         backend=backend, workers=workers, session=session)
-    if method == "GBC":
-        return gbc_count(graph, query, spec=spec, options=options,
-                         layer=layer, backend=backend, workers=workers,
-                         session=session)
-    if method.startswith("GBC-"):
-        return gbc_count(graph, query, spec=spec,
-                         options=options or gbc_variant(
-                             method.split("-", 1)[1]),
-                         layer=layer, backend=backend, workers=workers,
-                         session=session)
-    raise ValueError(f"unknown method {method!r}; expected one of {METHODS}")
+    plan = plan_query(graph, query, method, backend=backend,
+                      workers=workers, layer=layer, session=session,
+                      spec=spec, threads=threads)
+    return execute_plan(plan, graph, query, session=session, spec=spec,
+                        backend=backend, options=options, threads=threads)
 
 
 def run_matrix(graphs: dict[str, BipartiteGraph],
@@ -125,18 +127,31 @@ def run_matrix(graphs: dict[str, BipartiteGraph],
     With ``share_sessions=True`` each graph gets one
     :class:`repro.query.GraphSession`, so the reorder permutation,
     two-hop indexes and HTBs are built once per (layer, k) and reused
-    across the whole (query, method) matrix of that graph.  It is
-    opt-in because shared preparation deflates the *wall time* of
-    whichever method runs after the structures are warm — fine for
-    correctness sweeps, wrong for paper-timing experiments that compare
-    per-method cost (counts are identical either way).
+    across the whole (query, method) matrix of that graph.  The shared
+    preparation is warmed *before* any cell runs — every plan's
+    prepared state via :func:`repro.plan.warm_session` — and its wall
+    time is reported per graph on :attr:`MethodRun.prepare_seconds`
+    instead of being charged to whichever method happened to run first
+    cold.  Per-cell ``measure_seconds`` therefore compare pure counting
+    cost; unshared runs (the default) still pay preparation inside
+    every cell, matching the paper's one-shot timing convention.
     """
     from repro.query import GraphSession
 
     spec = spec or rtx_3090()
     runs: list[MethodRun] = []
     for name, graph in graphs.items():
-        session = GraphSession(graph, spec=spec) if share_sessions else None
+        session, prepare_seconds = None, 0.0
+        if share_sessions:
+            session = GraphSession(graph, spec=spec)
+            prep0 = time.perf_counter()
+            for query in queries:
+                for method in methods:
+                    warm_plan = plan_query(graph, query, method,
+                                           backend=backend, workers=workers,
+                                           session=session, spec=spec)
+                    warm_session(session, warm_plan)
+            prepare_seconds = time.perf_counter() - prep0
         for query in queries:
             counts: set[int] = set()
             for method in methods:
@@ -147,7 +162,8 @@ def run_matrix(graphs: dict[str, BipartiteGraph],
                 elapsed = time.perf_counter() - t0
                 runs.append(MethodRun(method=method, dataset=name,
                                       query=query, result=result,
-                                      measure_seconds=elapsed))
+                                      measure_seconds=elapsed,
+                                      prepare_seconds=prepare_seconds))
                 counts.add(result.count)
             if check_agreement and len(counts) > 1:
                 raise AssertionError(

@@ -1,10 +1,11 @@
-"""Command-line interface: count, enumerate, estimate, inspect, reproduce.
+"""Command-line interface: count, plan, enumerate, estimate, reproduce.
 
 Examples::
 
     python -m repro count --dataset YT --scale tiny -p 3 -q 3
     python -m repro count --graph my_edges.txt -p 2 -q 2 --method BCL
-    python -m repro count --dataset YT --scale bench -p 3 -q 3 --backend fast
+    python -m repro count --dataset YT --scale bench -p 3 -q 3 --method auto
+    python -m repro plan explain --dataset YT --scale tiny -p 3 -q 3
     python -m repro batch --dataset YT --scale tiny --queries 3x3,3x4,4x4
     python -m repro serve-bench --graphs YT,S1 --scale tiny --duration 2
     python -m repro enumerate --dataset S1 --scale tiny -p 3 -q 2 --limit 5
@@ -20,7 +21,7 @@ import sys
 
 from repro.bench import experiments as exp_mod
 from repro.bench.datasets import PAPER_STATS, list_datasets, load_dataset
-from repro.bench.runner import METHODS, headline_seconds, run_method
+from repro.bench.runner import headline_seconds, run_method
 from repro.bench.tables import format_seconds, render_table
 from repro.core.counts import BicliqueQuery, DeviceRunResult
 from repro.core.enumerate import enumerate_bicliques
@@ -28,9 +29,18 @@ from repro.engine import BACKEND_NAMES
 from repro.core.estimate import estimate_count
 from repro.graph.io import read_edge_list
 from repro.graph.stats import compute_stats
+from repro.plan import AUTO, Planner, execute_plan, method_names
 from repro.query import batch_count, parse_queries
 
 __all__ = ["main", "build_parser"]
+
+
+def _method_choices() -> list[str]:
+    """Every --method choice: the live registry listing plus the
+    planner directive — read at parser-build time, so a counter
+    registered before :func:`build_parser` runs is offered."""
+    return list(method_names()) + [AUTO]
+
 
 EXPERIMENTS = {
     "fig1b": exp_mod.experiment_fig1b,
@@ -66,7 +76,9 @@ def build_parser() -> argparse.ArgumentParser:
     add_graph_args(c)
     c.add_argument("-p", type=int, required=True)
     c.add_argument("-q", type=int, required=True)
-    c.add_argument("--method", default="GBC", choices=list(METHODS))
+    c.add_argument("--method", default="GBC", choices=_method_choices(),
+                   help="counting algorithm; 'auto' lets the cost-based "
+                        "planner choose")
     c.add_argument("--backend", default=None, choices=list(BACKEND_NAMES),
                    help="kernel execution engine: 'sim' reports simulated "
                         "device metrics, 'fast' skips instrumentation, "
@@ -83,7 +95,9 @@ def build_parser() -> argparse.ArgumentParser:
     add_graph_args(b)
     b.add_argument("--queries", required=True, metavar="PxQ[,PxQ...]",
                    help="comma-separated query list, e.g. 3x3,3x4,4x4")
-    b.add_argument("--method", default="GBC", choices=list(METHODS))
+    b.add_argument("--method", default="GBC", choices=_method_choices(),
+                   help="counting algorithm; 'auto' plans once per "
+                        "query shape and shares prepared state")
     b.add_argument("--backend", default=None, choices=list(BACKEND_NAMES),
                    help="kernel execution engine shared by the whole batch "
                         "(default: sim, or par when --workers is given)")
@@ -116,7 +130,9 @@ def build_parser() -> argparse.ArgumentParser:
                     help="query-shape mix (default 2x2,2x3,3x3)")
     sb.add_argument("--zipf", type=float, default=1.1,
                     help="graph-popularity skew exponent (default 1.1)")
-    sb.add_argument("--method", default="GBC", choices=list(METHODS))
+    sb.add_argument("--method", default="GBC", choices=_method_choices(),
+                    help="counting algorithm; 'auto' adapts per "
+                         "(graph, shape) through the pooled sessions")
     sb.add_argument("--backend", default="fast",
                     choices=list(BACKEND_NAMES),
                     help="kernel engine batches execute on (default fast)")
@@ -143,6 +159,29 @@ def build_parser() -> argparse.ArgumentParser:
                                         "BENCH_serve.json",
                     help="artifact path (default benchmarks/artifacts/"
                          "BENCH_serve.json)")
+
+    pl = sub.add_parser("plan",
+                        help="inspect the cost-based query planner")
+    plsub = pl.add_subparsers(dest="plan_command", required=True)
+    pe = plsub.add_parser(
+        "explain",
+        help="rank every candidate plan for one query, with predicted "
+             "(and optionally measured) cost")
+    add_graph_args(pe)
+    pe.add_argument("-p", type=int, required=True)
+    pe.add_argument("-q", type=int, required=True)
+    pe.add_argument("--backend", default=None, choices=list(BACKEND_NAMES),
+                    help="rank candidates under this engine "
+                         "(default: the planner's free choice, fast)")
+    pe.add_argument("--workers", type=int, default=None, metavar="N",
+                    help="worker processes; implies --backend par")
+    pe.add_argument("--samples", type=int, default=8,
+                    help="roots per sampling probe (default 8)")
+    pe.add_argument("--seed", type=int, default=0,
+                    help="probe seed (plans are deterministic per seed)")
+    pe.add_argument("--measure", action="store_true",
+                    help="also execute every candidate and report its "
+                         "measured headline seconds")
 
     e = sub.add_parser("enumerate", help="list (p,q)-bicliques")
     add_graph_args(e)
@@ -191,8 +230,15 @@ def _cmd_count(args) -> int:
         return 2
     graph = _load(args)
     query = BicliqueQuery(args.p, args.q)
-    result = run_method(args.method, graph, query, backend=args.backend,
-                        workers=args.workers)
+    if args.method == AUTO:
+        plan = Planner(graph).plan(query, backend=args.backend,
+                                   workers=args.workers)
+        result = execute_plan(plan, graph, query)
+        print(f"plan: auto -> {plan.method} on {plan.backend} "
+              f"({plan.reason})")
+    else:
+        result = run_method(args.method, graph, query, backend=args.backend,
+                            workers=args.workers)
     simulated = isinstance(result, DeviceRunResult) \
         and result.backend_instrumented
     print(f"graph: {graph}")
@@ -301,6 +347,45 @@ def _cmd_serve_bench(args) -> int:
     return 0
 
 
+def _cmd_plan(args) -> int:
+    if args.plan_command != "explain":   # pragma: no cover - argparse
+        return 2
+    if _sim_with_workers(args):
+        return 2
+    graph = _load(args)
+    query = BicliqueQuery(args.p, args.q)
+    planner = Planner(graph, samples=args.samples, seed=args.seed)
+    ranked = planner.rank(query, backend=args.backend,
+                          workers=args.workers)
+    headers = ["rank", "method", "backend", "predicted"]
+    if args.measure:
+        headers.append("measured")
+    rows = []
+    for position, plan in enumerate(ranked, start=1):
+        marker = " <- chosen" if position == 1 else ""
+        row = [f"{position}{marker}", plan.method, plan.backend,
+               format_seconds(plan.predicted_seconds)]
+        if args.measure:
+            row.append(format_seconds(
+                headline_seconds(execute_plan(plan, graph, query))))
+        rows.append(row)
+    print(f"graph: {graph}")
+    print(render_table(
+        f"plan explain ({args.p},{args.q}) — "
+        f"{len(ranked)} candidate plan(s), cheapest first", headers, rows))
+    chosen = ranked[0]
+    signals = chosen.signals
+    print(f"chosen: {chosen.method} on {chosen.backend} — {chosen.reason}")
+    print(f"probe: {signals['population']} promising roots "
+          f"(Basic sees {signals['basic_population']}), "
+          f"~{signals['comparisons']:.0f} comparisons "
+          f"(id order ~{signals['basic_comparisons']:.0f}), "
+          f"est. count {signals['est_count']:.0f}, "
+          f"anchored layer {signals['anchored_layer']}")
+    print(f"prepared state: {', '.join(chosen.prepared)}")
+    return 0
+
+
 def _cmd_enumerate(args) -> int:
     graph = _load(args)
     query = BicliqueQuery(args.p, args.q)
@@ -351,6 +436,7 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "count": _cmd_count,
+        "plan": _cmd_plan,
         "batch": _cmd_batch,
         "serve-bench": _cmd_serve_bench,
         "enumerate": _cmd_enumerate,

@@ -29,6 +29,7 @@ from repro.engine.base import KernelBackend, resolve_backend
 from repro.graph.bipartite import BipartiteGraph, LAYER_U
 from repro.graph.priority import priority_order, rank_from_order
 from repro.graph.twohop import TwoHopIndex, build_two_hop_index
+from repro.plan.registry import CostSignals, MethodSpec, register_method
 
 __all__ = ["bcl_count", "bcl_per_root_profile", "BCLProfile"]
 
@@ -261,3 +262,19 @@ def bcl_per_root_profile(graph: BipartiteGraph, query: BicliqueQuery,
     _run_roots(g, index, order, p, q, engine, instrument, profile)
     profile.seconds_total = time.perf_counter() - start
     return profile
+
+
+def _predicted_seconds(signals: CostSignals) -> float:
+    """BCL: priority-ordered serial enumeration after the full prepare."""
+    enum = signals.enum_seconds(signals.merge_calls, signals.comparisons)
+    return signals.priority_prepare_seconds() + signals.sharded(enum)
+
+
+register_method(MethodSpec(
+    name="BCL",
+    runner=bcl_count,
+    accepts=("layer", "backend", "workers", "session"),
+    cost=_predicted_seconds,
+    order=20,
+    summary="priority-ordered CPU state of the art (§III-A)",
+))

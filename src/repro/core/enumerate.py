@@ -21,7 +21,7 @@ import numpy as np
 
 from repro.core.counts import BicliqueQuery, anchored_view
 from repro.engine.base import KernelBackend, resolve_backend
-from repro.graph.bipartite import BipartiteGraph, LAYER_U, LAYER_V
+from repro.graph.bipartite import BipartiteGraph, LAYER_U
 from repro.graph.priority import priority_order, priority_rank
 from repro.graph.twohop import build_two_hop_index
 

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from math import comb, sqrt
+from math import sqrt
 
 import numpy as np
 
@@ -32,7 +32,8 @@ from repro.graph.bipartite import BipartiteGraph, LAYER_U
 from repro.graph.priority import priority_rank
 from repro.graph.twohop import build_two_hop_index
 
-__all__ = ["EstimateResult", "estimate_count"]
+__all__ = ["EstimateResult", "estimate_count", "RootProbe",
+           "sample_root_profile"]
 
 
 @dataclass
@@ -106,3 +107,171 @@ def estimate_count(graph: BipartiteGraph, query: BicliqueQuery,
         if samples > 1 else 0.0
     return EstimateResult(query, estimate, std_error, samples, population,
                           time.perf_counter() - start)
+
+
+# ---------------------------------------------------------------------------
+# root-sampling probe for the cost-based planner (repro.plan)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RootProbe:
+    """Deterministic work signals from a seeded root sample.
+
+    Unlike :class:`EstimateResult` this never reports wall-clock: the
+    probe counts *merge comparisons* through the instrumented engine, so
+    two probes with the same seed are bit-identical — the property the
+    planner's determinism guarantee rests on.  Work is measured under
+    both orders the repo's methods use: the Definition-2 priority order
+    (BCL/BCLP/GBL/GBC) and Basic's id order, whose relative sizes are
+    exactly what separates Basic from the rest on skewed graphs.
+    """
+
+    p: int
+    q: int
+    anchored_layer: str          #: layer the degree heuristic anchors on
+    population: int              #: promising roots, priority order
+    basic_population: int        #: promising roots, Basic's id order
+    samples: int                 #: roots sampled per order (<= population)
+    comparisons: float           #: HT-estimated total comparisons (priority)
+    basic_comparisons: float     #: HT-estimated total comparisons (id)
+    merge_calls: float           #: HT-estimated merge invocations (priority)
+    basic_merge_calls: float     #: HT-estimated merge invocations (id)
+    max_root_comparisons: float  #: heaviest sampled root's comparisons
+    max_root_merge_calls: float  #: heaviest sampled root's merge calls
+    mean_index_size: float       #: mean N2^k size over promising roots
+    est_count: float             #: HT-estimated (p, q)-biclique count
+
+
+class _CountingEngine:
+    """Delegates ``merge`` to an engine while counting invocations —
+    merge-call counts track the per-call kernel overhead that dominates
+    enumeration wall time on small candidate sets, which comparison
+    counts alone cannot see."""
+
+    def __init__(self, inner) -> None:
+        self._inner = inner
+        self.calls = 0
+
+    def merge(self, a, b, comparisons=None):
+        self.calls += 1
+        return self._inner.merge(a, b, comparisons)
+
+
+@dataclass(frozen=True)
+class _IndexProbe:
+    population: int
+    comparisons: float
+    merge_calls: float
+    est_count: float
+    max_root_comparisons: float
+    max_root_merge_calls: float
+
+
+_EMPTY_PROBE = _IndexProbe(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+
+
+def _probe_index(g, index, p: int, q: int, samples: int, rng,
+                 engine) -> _IndexProbe:
+    """Horvitz-Thompson work estimates for one rooted search space."""
+    roots = [u for u in range(g.num_u)
+             if g.degree(LAYER_U, u) >= q
+             and (p == 1 or index.size(u) >= p - 1)]
+    population = len(roots)
+    if population == 0:
+        return _EMPTY_PROBE
+
+    def run(root: int) -> tuple[int, int, int]:
+        profile = BCLProfile()
+        counting = _CountingEngine(engine)
+        count = _enumerate_root(g, index, root, p, q, profile, counting,
+                                instrument=True)
+        return (profile.comparisons_one_hop + profile.comparisons_two_hop,
+                counting.calls, count)
+
+    if samples >= population:
+        triples = [run(r) for r in roots]
+        return _IndexProbe(
+            population=population,
+            comparisons=float(sum(c for c, _, _ in triples)),
+            merge_calls=float(sum(m for _, m, _ in triples)),
+            est_count=float(sum(n for _, _, n in triples)),
+            max_root_comparisons=float(max(c for c, _, _ in triples)),
+            max_root_merge_calls=float(max(m for _, m, _ in triples)),
+        )
+    weights = np.asarray([max(index.size(r), 1) for r in roots],
+                         dtype=np.float64)
+    pi = weights / weights.sum()
+    picks = rng.choice(population, size=samples, replace=True, p=pi)
+    cache: dict[int, tuple[int, int, int]] = {}
+    cmp_contrib = np.empty(samples, dtype=np.float64)
+    call_contrib = np.empty(samples, dtype=np.float64)
+    cnt_contrib = np.empty(samples, dtype=np.float64)
+    for j, i in enumerate(picks):
+        i = int(i)
+        root = roots[i]
+        if root not in cache:
+            cache[root] = run(root)
+        comparisons, calls, count = cache[root]
+        cmp_contrib[j] = comparisons / pi[i]
+        call_contrib[j] = calls / pi[i]
+        cnt_contrib[j] = count / pi[i]
+    sampled = cache.values()
+    return _IndexProbe(
+        population=population,
+        comparisons=float(cmp_contrib.mean()),
+        merge_calls=float(call_contrib.mean()),
+        est_count=float(cnt_contrib.mean()),
+        max_root_comparisons=float(max(c for c, _, _ in sampled)),
+        max_root_merge_calls=float(max(m for _, m, _ in sampled)),
+    )
+
+
+def sample_root_profile(graph: BipartiteGraph, query: BicliqueQuery,
+                        samples: int = 8,
+                        seed: int | None = 0,
+                        layer: str | None = None,
+                        session=None) -> RootProbe:
+    """Probe a seeded sample of root search trees and extrapolate.
+
+    The planner's raw material (see :mod:`repro.plan.planner`): counted
+    comparisons under the priority order *and* under Basic's id order,
+    the promising-root populations, the mean two-hop index size, and an
+    estimated count — all deterministic for a fixed ``seed``.  A
+    :class:`repro.query.GraphSession` serves the indexes from its
+    caches, so probing a warm session builds nothing new.
+    """
+    # the simulated engine's merge fills the comparison cells the probe
+    # counts; a handful of sampled roots keeps its overhead negligible
+    engine = resolve_backend("sim")
+    g, p, q, anchored = anchored_view(graph, query, layer)
+    if session is not None:
+        session.check_owns(graph)
+        g = session.anchored(anchored)
+        index = session.two_hop_index(anchored, q)
+        basic_index = session.id_order_index(query.q)
+    else:
+        rank = priority_rank(g, LAYER_U, q)
+        index = build_two_hop_index(g, LAYER_U, q, min_priority_rank=rank)
+        ids = np.arange(graph.num_u, dtype=np.int64)
+        basic_index = build_two_hop_index(graph, LAYER_U, query.q,
+                                          min_priority_rank=ids)
+    rng = np.random.default_rng(seed)
+    probe = _probe_index(g, index, p, q, samples, rng, engine)
+    # Basic never swaps layers: probe it on the original orientation
+    basic = _probe_index(graph, basic_index, query.p, query.q, samples,
+                         rng, engine)
+    sizes = [index.size(u) for u in range(g.num_u)
+             if g.degree(LAYER_U, u) >= q]
+    mean_index_size = float(np.mean(sizes)) if sizes else 0.0
+    return RootProbe(
+        p=query.p, q=query.q, anchored_layer=anchored,
+        population=probe.population, basic_population=basic.population,
+        samples=min(samples, max(probe.population, basic.population)),
+        comparisons=probe.comparisons,
+        basic_comparisons=basic.comparisons,
+        merge_calls=probe.merge_calls,
+        basic_merge_calls=basic.merge_calls,
+        max_root_comparisons=probe.max_root_comparisons,
+        max_root_merge_calls=probe.max_root_merge_calls,
+        mean_index_size=mean_index_size, est_count=probe.est_count,
+    )

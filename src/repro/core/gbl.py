@@ -17,7 +17,8 @@ import numpy as np
 from repro.core.counts import BicliqueQuery, DeviceRunResult
 from repro.core.device_common import assign_roots_to_blocks, prepare_device_inputs
 from repro.engine.base import KernelBackend, resolve_backend
-from repro.gpu.costmodel import effective_cycles
+from repro.gpu.costmodel import effective_cycles, kernel_seconds
+from repro.plan.registry import CostSignals, MethodSpec, register_method
 from repro.gpu.device import DeviceSpec, rtx_3090
 from repro.gpu.metrics import KernelMetrics
 from repro.gpu.workqueue import simulate_blocks
@@ -140,3 +141,37 @@ def gbl_count(graph: BipartiteGraph, query: BicliqueQuery,
         backend=engine.name,
         backend_instrumented=engine.instrumented,
     )
+
+
+def _predicted_seconds(signals: CostSignals) -> float:
+    """GBL on the simulated device prices through the SIMT cost model:
+    per-element binary-search intersections make roughly one global
+    transaction per comparison and leave most warp lanes idle.  On the
+    uninstrumented engines its headline is host wall time — the same
+    enumeration as BCL plus the device-bookkeeping overhead."""
+    if signals.backend == "sim":
+        metrics = KernelMetrics(
+            global_transactions=int(signals.comparisons) + 1,
+            comparisons=int(signals.comparisons * 2),
+            alu_ops=int(signals.comparisons),
+        )
+        metrics.record_slots(active=1, total=4)      # sparse warp lanes
+        return kernel_seconds(metrics, signals.device)
+    enum = GBL_HOST_OVERHEAD * signals.enum_seconds(signals.merge_calls,
+                                                    signals.comparisons)
+    return signals.priority_prepare_seconds() + signals.sharded(enum)
+
+
+#: fast-backend wall overhead of the device bookkeeping vs plain BCL
+GBL_HOST_OVERHEAD = 1.25
+
+register_method(MethodSpec(
+    name="GBL",
+    runner=gbl_count,
+    accepts=("spec", "layer", "backend", "workers", "session"),
+    instrumented_metrics=True,
+    device_model=True,
+    cost=_predicted_seconds,
+    order=40,
+    summary="naive GPU port: binary-search intersections (§III-B)",
+))

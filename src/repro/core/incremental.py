@@ -20,7 +20,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
 
 from repro.core.butterfly import butterfly_count
 from repro.errors import GraphValidationError

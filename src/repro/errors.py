@@ -28,6 +28,23 @@ class QueryError(ReproError, ValueError):
     """
 
 
+class UnknownMethodError(QueryError):
+    """A counting-method name is not in the :mod:`repro.plan` registry.
+
+    Raised wherever a method name enters the system — the planner, the
+    bench runner, the batch engine, and :meth:`Scheduler.submit` — so a
+    typo fails at the boundary it crossed, not inside a worker batch.
+    A :class:`QueryError` (hence also a :class:`ValueError`): a bad
+    method name is a bad value for a query parameter.
+    """
+
+
+class PlanError(ReproError):
+    """A :class:`repro.plan.CountPlan` is invalid or cannot be executed
+    (e.g. it names a backend its method does not support, or is applied
+    to a different query than it was planned for)."""
+
+
 class DeviceError(ReproError):
     """The simulated GPU device was misconfigured or misused."""
 

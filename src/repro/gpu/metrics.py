@@ -16,7 +16,7 @@ simulated cycles/seconds.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["KernelMetrics"]
 

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 
 from repro.graph.bipartite import BipartiteGraph, LAYER_U, LAYER_V
 

@@ -19,14 +19,14 @@ or *inter* (L spans parts); Fig. 10(b) contrasts their throughputs.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from math import comb
 
 import numpy as np
 
 from repro.core.counts import BicliqueQuery
 from repro.engine.base import KernelBackend, resolve_backend
-from repro.gpu.device import DeviceSpec, rtx_3090
+from repro.gpu.device import DeviceSpec
 from repro.graph.bipartite import BipartiteGraph, LAYER_U
 from repro.graph.priority import priority_rank
 from repro.graph.twohop import TwoHopIndex, build_two_hop_index

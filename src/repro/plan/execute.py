@@ -1,0 +1,163 @@
+"""Plan execution: the ONE place a method name becomes a counter call.
+
+Every dispatcher in the repo — :func:`repro.bench.runner.run_method`,
+the CLI, :meth:`repro.query.GraphSession.count` (hence ``batch_count``),
+and the serving :class:`~repro.service.scheduler.Scheduler` — resolves
+to :func:`execute_plan`.  There is deliberately no other site that maps
+``"GBC"`` to :func:`repro.core.gbc.gbc_count`: registering a
+:class:`~repro.plan.registry.MethodSpec` is sufficient for a new
+counter to be reachable from every layer.
+"""
+
+from __future__ import annotations
+
+from repro.engine.base import KernelBackend, resolve_backend
+from repro.errors import PlanError
+from repro.plan.ir import CountPlan
+from repro.plan.planner import Planner, prepared_keys
+from repro.plan.registry import AUTO, get_method
+
+__all__ = ["execute_plan", "explicit_plan", "plan_query", "warm_session"]
+
+#: plan_query's (samples, seed, threads) defaults — requests matching
+#: them are served from a session's per-shape plan cache when one is
+#: supplied, which keys plans by shape only
+_DEFAULT_PROBE = (8, 0, 16)
+
+
+def explicit_plan(graph, query, method: str, *,
+                  backend=None, workers: int | None = None,
+                  layer: str | None = None) -> CountPlan:
+    """A plan for an explicitly named method — no probe, no ranking.
+
+    ``backend=None`` keeps the historical default of every entry point
+    (the instrumented simulated engine); ``workers=`` implies the
+    parallel engine exactly as :func:`repro.engine.base.resolve_backend`
+    does.  Raises :class:`~repro.errors.UnknownMethodError` for names
+    not in the registry.
+    """
+    mspec = get_method(method)
+    if isinstance(backend, KernelBackend):
+        backend_name = backend.name
+    elif backend is None:
+        backend_name = None
+    else:
+        backend_name = str(backend)
+    # mirror resolve_backend: workers= upgrades the serial engines to
+    # "par", so the plan records the engine that will actually run
+    if workers is not None and backend_name in (None, "fast", "par"):
+        backend_name = "par"
+    elif backend_name is None:
+        backend_name = "sim"
+    return CountPlan(
+        method=method, p=query.p, q=query.q,
+        backend=backend_name, workers=workers, layer=layer,
+        prepared=prepared_keys(mspec, graph, query, layer),
+        source="explicit",
+        reason=f"explicitly requested {method}",
+    )
+
+
+def plan_query(graph, query, method: str = "GBC", *,
+               backend=None, workers: int | None = None,
+               layer: str | None = None, session=None, spec=None,
+               samples: int = 8, seed: int = 0,
+               threads: int = 16) -> CountPlan:
+    """Turn a (possibly ``"auto"``) method request into a
+    :class:`~repro.plan.ir.CountPlan`.
+
+    Explicit names plan trivially; ``method="auto"`` runs the
+    cost-based :class:`~repro.plan.planner.Planner`.  With a
+    ``session`` and default probe settings the decision comes from
+    :meth:`repro.query.GraphSession.plan` — the session's per-shape
+    plan cache — so repeated auto calls over one graph probe each
+    (p, q) shape exactly once; custom probe settings fall back to a
+    fresh planner that still probes through the session's warm
+    prepared state.
+    """
+    if method == AUTO:
+        if session is not None \
+                and (samples, seed, threads) == _DEFAULT_PROBE:
+            return session.plan(query, backend=backend, workers=workers,
+                                layer=layer)
+        planner = Planner(graph, spec=spec, session=session,
+                          samples=samples, seed=seed, threads=threads)
+        return planner.plan(query, backend=backend, workers=workers,
+                            layer=layer)
+    return explicit_plan(graph, query, method, backend=backend,
+                         workers=workers, layer=layer)
+
+
+def warm_session(session, plan: CountPlan) -> None:
+    """Build exactly the prepared state ``plan`` requires on ``session``.
+
+    Each ``kind:layer[:k]`` key maps to one lazy builder of
+    :class:`repro.query.GraphSession`; builders are memoised, so
+    warming is idempotent and a batch that shares one session pays each
+    structure at most once regardless of how many plans require it.
+    """
+    for key in plan.prepared:
+        parts = key.split(":")
+        kind, layer = parts[0], parts[1]
+        if kind == "wedges":
+            session.wedges(layer)
+            continue
+        k = int(parts[2])
+        if kind == "order":
+            session.priority_order(layer, k)
+            session.priority_rank(layer, k)
+        elif kind == "two_hop":
+            session.two_hop_index(layer, k)
+        elif kind == "two_hop_id":
+            session.id_order_index(k)
+        elif kind == "htb":
+            session.htb_pair(layer, k)
+        else:
+            raise PlanError(f"unknown prepared-state kind in plan "
+                            f"requirement {key!r}")
+
+
+def execute_plan(plan: CountPlan, graph, query=None, *,
+                 session=None, spec=None, backend=None,
+                 options=None, threads: int = 16):
+    """Execute ``plan`` against ``graph`` and return the
+    :class:`~repro.core.counts.CountResult`.
+
+    ``query`` may be omitted (rebuilt from the plan) but must match the
+    plan's (p, q) when given.  ``backend=`` accepts a ready
+    :class:`~repro.engine.base.KernelBackend` *instance* to preserve a
+    caller's configured engine (a session-bound simulated device, a
+    tuned :class:`~repro.engine.parallel.ParallelBackend`); otherwise
+    the plan's backend/workers resolve through
+    :func:`~repro.engine.base.resolve_backend`.  ``options`` overrides
+    the method's registered defaults (the GBC ablation variants carry
+    theirs in the registry).
+    """
+    # deferred: the counter modules import repro.plan.registry at their
+    # own import time, so repro.plan must not import repro.core eagerly
+    from repro.core.counts import BicliqueQuery
+
+    mspec = get_method(plan.method)
+    if query is None:
+        query = BicliqueQuery(plan.p, plan.q)
+    elif not plan.matches(query):
+        raise PlanError(f"plan was made for ({plan.p}, {plan.q}) but "
+                        f"asked to execute ({query.p}, {query.q})")
+    engine = resolve_backend(backend if backend is not None
+                             else plan.backend,
+                             spec, workers=plan.workers)
+    if options is None and mspec.default_options is not None:
+        options = mspec.default_options()
+    if session is not None and mspec.supports_sessions:
+        warm_session(session, plan)
+    available = {
+        "backend": engine,
+        "session": session if mspec.supports_sessions else None,
+        "layer": plan.layer,
+        "spec": spec,
+        "options": options,
+        "threads": threads,
+    }
+    kwargs = {name: value for name, value in available.items()
+              if name in mspec.accepts}
+    return mspec.runner(graph, query, **kwargs)

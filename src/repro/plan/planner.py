@@ -1,0 +1,242 @@
+"""The cost-based planner behind ``method="auto"``.
+
+The paper's headline experiments (Fig. 7/8, Tables III-V) exist because
+no single counting strategy wins everywhere: the right method depends
+on the graph and the (p, q) shape.  :class:`Planner` makes that choice
+mechanical, the way the sampling-based selection in the
+butterfly-estimation and near-clique-sampling lines does — probe a few
+root search trees, extrapolate, price every registered method, pick the
+cheapest:
+
+1. **cheap graph statistics** (:func:`repro.graph.stats.compute_stats`,
+   :func:`repro.graph.priority.wedge_mass`) bound the preparation cost;
+2. **Definition-2 degeneracy signals** — the promising-root population
+   and two-hop index sizes under the priority order — scope the search;
+3. **root-sampling probes** (:func:`repro.core.estimate
+   .sample_root_profile`) count merge comparisons on a seeded sample of
+   roots and Horvitz-Thompson extrapolate total enumeration work, under
+   both the priority order and Basic's id order;
+4. each registered method's **cost hook** turns those
+   :class:`~repro.plan.registry.CostSignals` into predicted headline
+   seconds — device methods price theirs through the SIMT cost model
+   (:mod:`repro.gpu.costmodel`).
+
+Because the probe counts *work* (comparisons, populations), never
+wall-clock, planner output is bit-identical for a fixed seed: the same
+ranked plans, the same chosen plan, run after run.
+"""
+
+from __future__ import annotations
+
+from repro.engine.base import BACKEND_NAMES, KernelBackend
+from repro.errors import PlanError, QueryError
+from repro.graph.bipartite import LAYER_U, LAYER_V
+from repro.graph.priority import select_layer, wedge_mass
+from repro.graph.stats import compute_stats
+from repro.plan.ir import CountPlan
+from repro.plan.registry import CostSignals, MethodSpec, auto_candidates
+
+__all__ = ["Planner", "prepared_keys"]
+
+
+def prepared_keys(mspec: MethodSpec, graph, query,
+                  layer: str | None = None) -> tuple[str, ...]:
+    """The session-state keys a method needs for one query.
+
+    Keys are ``kind:layer[:k]`` strings a
+    :class:`repro.query.GraphSession` can warm directly (see
+    :func:`repro.plan.execute.warm_session`): the anchored layer and the
+    effective two-hop depth ``k`` are resolved exactly as the counter
+    will resolve them, so warming a plan's requirements is equivalent to
+    letting the counter build lazily — just observable and timeable.
+    """
+    if not mspec.supports_layer:        # Basic: always anchored on U
+        anchored, k = LAYER_U, query.q
+    else:
+        anchored = layer or select_layer(graph, query.p, query.q)
+        k = query.q if anchored == LAYER_U else query.p
+    keys = []
+    for kind in mspec.prepared_kinds:
+        if kind == "wedges":
+            keys.append(f"wedges:{anchored}")
+        else:
+            keys.append(f"{kind}:{anchored}:{k}")
+    return tuple(keys)
+
+
+def _backend_name(backend, workers: int | None) -> str | None:
+    """Normalise a backend argument to a registry name (or None).
+
+    Mirrors :func:`repro.engine.base.resolve_backend`: ``workers=``
+    upgrades ``None``/``"fast"``/``"par"`` (and their engine instances)
+    to the sharded parallel engine, so plans are priced and labelled as
+    what will actually run.  ``sim`` + workers passes through so the
+    caller's serial-accounting error fires.
+    """
+    if isinstance(backend, KernelBackend):
+        name = backend.name
+    elif backend is None:
+        name = None
+    elif backend in BACKEND_NAMES:
+        name = backend
+    else:
+        raise QueryError(f"backend must be a KernelBackend, a name in "
+                         f"{BACKEND_NAMES}, or None; got {backend!r}")
+    if workers is not None and name in (None, "fast", "par"):
+        return "par"
+    return name
+
+
+class Planner:
+    """Ranks every registered counting method for queries on one graph.
+
+    ``session`` (a :class:`repro.query.GraphSession`) lets probes reuse
+    the graph's prepared state; ``samples`` and ``seed`` control the
+    root-sampling probe (signals are cached per (p, q, layer), so a
+    batch of same-shape queries probes once).  ``spec`` is the device
+    the SIMT cost model prices simulated-device candidates with.
+    """
+
+    def __init__(self, graph, spec=None, session=None, *,
+                 samples: int = 8, seed: int = 0,
+                 threads: int = 16) -> None:
+        if session is not None:
+            session.check_owns(graph)
+            if spec is None:
+                spec = session.spec
+        self.graph = graph
+        self.spec = spec
+        self.session = session
+        self.samples = int(samples)
+        self.seed = int(seed)
+        self.threads = int(threads)
+        self._stats = None
+        self._probes: dict[tuple, object] = {}
+
+    # -- signal gathering ----------------------------------------------
+    def _graph_stats(self):
+        if self._stats is None:
+            self._stats = compute_stats(self.graph)
+        return self._stats
+
+    def _probe(self, query, layer: str | None):
+        from repro.core.estimate import sample_root_profile
+
+        key = (query.p, query.q, layer)
+        got = self._probes.get(key)
+        if got is None:
+            got = sample_root_profile(self.graph, query,
+                                      samples=self.samples, seed=self.seed,
+                                      layer=layer, session=self.session)
+            self._probes[key] = got
+        return got
+
+    def signals(self, query, backend: str = "fast",
+                workers: int | None = None,
+                layer: str | None = None) -> CostSignals:
+        """The :class:`~repro.plan.registry.CostSignals` for one query
+        under one execution engine — deterministic for a fixed seed."""
+        from repro.gpu.device import rtx_3090
+
+        stats = self._graph_stats()
+        probe = self._probe(query, layer)
+        anchored = probe.anchored_layer
+        skew = stats.degree_skew_u if anchored == LAYER_U \
+            else stats.degree_skew_v
+        if anchored == LAYER_U:
+            anchored_nu, anchored_nv = stats.num_u, stats.num_v
+            opposite = LAYER_V
+        else:
+            anchored_nu, anchored_nv = stats.num_v, stats.num_u
+            opposite = LAYER_U
+        return CostSignals(
+            p=query.p, q=query.q,
+            backend=backend, workers=workers, threads=self.threads,
+            anchored_layer=anchored,
+            num_u=stats.num_u, num_v=stats.num_v,
+            num_edges=stats.num_edges,
+            anchored_num_u=anchored_nu, anchored_num_v=anchored_nv,
+            degree_skew=skew,
+            # the anchored prepare enumerates wedges through the layer
+            # opposite the anchor; Basic's id build always walks the
+            # original orientation's V side
+            wedge_ops=float(wedge_mass(self.graph, opposite)),
+            wedge_ops_id=float(wedge_mass(self.graph, LAYER_V)),
+            population=probe.population,
+            basic_population=probe.basic_population,
+            comparisons=probe.comparisons,
+            basic_comparisons=probe.basic_comparisons,
+            merge_calls=probe.merge_calls,
+            basic_merge_calls=probe.basic_merge_calls,
+            max_root_comparisons=probe.max_root_comparisons,
+            max_root_merge_calls=probe.max_root_merge_calls,
+            mean_index_size=probe.mean_index_size,
+            est_count=probe.est_count,
+            device=self.spec or rtx_3090(),
+        )
+
+    # -- planning -------------------------------------------------------
+    def rank(self, query, backend=None, workers: int | None = None,
+             layer: str | None = None) -> list[CountPlan]:
+        """Every eligible candidate plan, cheapest predicted first.
+
+        ``backend=None`` leaves the engine to the planner (it prices
+        candidates on the uninstrumented ``fast`` engine — ``auto``
+        means "fastest", and instrumentation is something a caller asks
+        for explicitly); naming a backend ranks the methods *under* that
+        engine, which changes the winners — on ``sim`` the headline is
+        simulated device seconds, so the device methods dominate.
+        """
+        pinned = _backend_name(backend, workers)
+        engine_name = pinned or "fast"
+        if engine_name == "sim" and workers is not None:
+            raise QueryError("workers= requires the parallel engine; the "
+                             "simulated engine's accounting is serial")
+        signals = self.signals(query, backend=engine_name,
+                               workers=workers, layer=layer)
+        plans: list[CountPlan] = []
+        for position, mspec in enumerate(auto_candidates()):
+            if engine_name == "par" and not mspec.supports_partitioned:
+                continue
+            if layer is not None and not mspec.supports_layer:
+                continue
+            predicted = float(mspec.cost(signals))
+            plans.append((predicted, position, CountPlan(
+                method=mspec.name, p=query.p, q=query.q,
+                backend=engine_name, workers=workers, layer=layer,
+                prepared=prepared_keys(mspec, self.graph, query, layer),
+                predicted_seconds=predicted,
+                source="auto",
+                reason=(f"predicted {predicted:.3g}s on {engine_name} "
+                        f"from a {self.samples}-root probe "
+                        f"(seed {self.seed})"),
+                signals={
+                    "population": signals.population,
+                    "basic_population": signals.basic_population,
+                    "comparisons": signals.comparisons,
+                    "basic_comparisons": signals.basic_comparisons,
+                    "mean_index_size": signals.mean_index_size,
+                    "est_count": signals.est_count,
+                    "wedge_ops": signals.wedge_ops,
+                    "degree_skew": signals.degree_skew,
+                    "anchored_layer": signals.anchored_layer,
+                },
+            )))
+        if not plans:
+            raise PlanError(f"no registered method can run on backend "
+                            f"{engine_name!r}")
+        # ties break on registration order, keeping the ranking total
+        # and deterministic
+        plans.sort(key=lambda item: (item[0], item[1]))
+        return [plan for _, _, plan in plans]
+
+    def plan(self, query, backend=None, workers: int | None = None,
+             layer: str | None = None) -> CountPlan:
+        """The cheapest candidate of :meth:`rank` — what ``method="auto"``
+        executes."""
+        return self.rank(query, backend=backend, workers=workers,
+                         layer=layer)[0]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Planner({self.graph!r}, samples={self.samples}, "
+                f"seed={self.seed})")

@@ -62,6 +62,7 @@ from repro.graph.bipartite import BipartiteGraph, LAYER_U, LAYER_V
 from repro.graph.priority import priority_order_from_sizes, rank_from_order
 from repro.graph.twohop import TwoHopIndex, WedgeIndex, build_wedge_index
 from repro.htb.htb import HTB, htb_from_graph, htb_from_two_hop
+from repro.plan import AUTO, CountPlan, Planner, execute_plan, explicit_plan
 
 __all__ = ["GraphSession", "SessionStats", "ResultCache", "BatchResult",
            "batch_count", "parse_queries", "graph_fingerprint"]
@@ -262,6 +263,8 @@ class GraphSession:
         self._indexes: dict[tuple, TwoHopIndex] = {}
         self._htb_adj: dict[str, HTB] = {}
         self._htb_two_hop: dict[tuple, HTB] = {}
+        self._plans: dict[tuple, CountPlan] = {}
+        self._planner: Planner | None = None
 
     @property
     def graph(self) -> BipartiteGraph:
@@ -397,8 +400,40 @@ class GraphSession:
             self._indexes.clear()
             self._htb_adj.clear()
             self._htb_two_hop.clear()
+            self._plans.clear()
+            self._planner = None
             self.results.clear()
             return True
+
+    # -- planning ------------------------------------------------------
+    def plan(self, query: BicliqueQuery, *,
+             backend: KernelBackend | str | None = None,
+             workers: int | None = None,
+             layer: str | None = None) -> CountPlan:
+        """The cost-based plan for one query shape, cached per shape.
+
+        Planning runs once per (graph, shape-class) — the (p, q) shape
+        under a given engine choice — and the chosen plan is reused for
+        every later query of that shape on this session, so a mixed
+        batch or serving workload pays one probe per distinct shape.
+        The probe itself runs through this session, reusing (and
+        warming) the shared prepared state.
+        """
+        backend_key = backend.name if isinstance(backend, KernelBackend) \
+            else backend
+        key = (query.p, query.q, backend_key, workers, layer)
+        with self._lock:
+            got = self._plans.get(key)
+            if got is not None:
+                return got
+            if self._planner is None:
+                self._planner = Planner(self._graph, spec=self.spec,
+                                        session=self)
+        # probe outside the lock: it may run sampled roots
+        plan = self._planner.plan(query, backend=backend, workers=workers,
+                                  layer=layer)
+        with self._lock:
+            return self._plans.setdefault(key, plan)
 
     # -- counting through the result cache -----------------------------
     def count(self, query: BicliqueQuery, method: str = "GBC", *,
@@ -420,7 +455,20 @@ class GraphSession:
         key includes backend name and worker count so cached
         timing/metric fields always match the configuration that was
         asked for.
+
+        ``method="auto"`` resolves through :meth:`plan` first (one
+        probe per query shape, cached); the resolved plan supplies the
+        method — and, when no backend was named, the engine — so auto
+        runs share the result cache with their explicit equivalents.
         """
+        if method == AUTO:
+            chosen = self.plan(query, backend=backend, workers=workers,
+                               layer=layer)
+            method = chosen.method
+            if backend is None:
+                backend = chosen.backend
+                workers = chosen.workers if workers is None \
+                    else workers
         engine = resolve_backend(backend, self.spec, workers=workers)
         key = (self._fingerprint, method, query.p, query.q, engine.name,
                # "par" results carry worker-dependent timings, so each
@@ -442,17 +490,16 @@ class GraphSession:
     def _dispatch(self, method: str, query: BicliqueQuery,
                   engine: KernelBackend, layer: str | None,
                   options: GBCOptions | None, threads: int) -> CountResult:
-        # one dispatch table for the whole repo: bench.runner.run_method
-        # (bench.runner never imports repro.query at module level, so
-        # this direction is cycle-free)
-        from repro.bench.runner import METHODS, run_method
-
-        if method not in METHODS:
-            raise QueryError(f"unknown method {method!r}; "
-                             f"expected one of {METHODS}")
-        return run_method(method, self._graph, query, spec=self.spec,
-                          threads=threads, backend=engine, session=self,
-                          layer=layer, options=options)
+        # repro.plan.execute_plan is the one dispatch site for the whole
+        # repo; an unregistered name raises UnknownMethodError (a
+        # QueryError) from explicit_plan before anything runs
+        plan = explicit_plan(self._graph, query, method,
+                             backend=engine,
+                             workers=getattr(engine, "workers", None),
+                             layer=layer)
+        return execute_plan(plan, self._graph, query, session=self,
+                            spec=self.spec, backend=engine,
+                            options=options, threads=threads)
 
 
 @dataclass
@@ -492,8 +539,11 @@ def batch_count(graph: BipartiteGraph | GraphSession,
     on the result) or an existing session, which keeps its caches warm
     across batches.  ``queries`` is anything :func:`parse_queries`
     accepts.  All remaining arguments mirror the single-query entry
-    points: ``method`` picks the algorithm, ``backend``/``workers`` the
-    execution engine, ``layer`` pins the anchored layer.
+    points: ``method`` picks the algorithm (``"auto"`` asks the
+    cost-based planner, which plans once per distinct query shape and
+    shares the session's prepared state across the batch per the
+    chosen plan's requirements), ``backend``/``workers`` the execution
+    engine, ``layer`` pins the anchored layer.
 
     The expensive per-graph structures — wedge enumeration, reorder
     permutation, two-hop index, HTB — are built at most once per

@@ -9,12 +9,11 @@ built from.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Protocol
 
 import numpy as np
 
 from repro.errors import ReorderError
-from repro.graph.bipartite import BipartiteGraph, LAYER_U, LAYER_V
+from repro.graph.bipartite import BipartiteGraph
 
 __all__ = ["Reordering", "identity_permutation", "validate_permutation",
            "apply_reordering", "compose_permutations"]

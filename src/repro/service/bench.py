@@ -36,6 +36,33 @@ from repro.service.workload import (WorkloadResult, WorkloadSpec,
 __all__ = ["serve_bench", "verify_served", "write_artifact"]
 
 
+def _method_resolver(graphs: dict[str, BipartiteGraph], method: str,
+                     backend: str):
+    """A ``(graph name, p, q) -> concrete method`` function.
+
+    Explicit methods pass through; ``"auto"`` is resolved through the
+    planner once per (graph, shape) and memoised — under the same
+    ``backend`` the requests execute on, so the choice matches what the
+    served path's pooled sessions pick — and the naive baseline and
+    verification oracle then time *counting*, not repeated planning
+    probes.
+    """
+    if method != "auto":
+        return lambda name, p, q: method
+    from repro.plan import plan_query
+
+    cache: dict[tuple[str, int, int], str] = {}
+
+    def resolve(name: str, p: int, q: int) -> str:
+        key = (name, p, q)
+        if key not in cache:
+            cache[key] = plan_query(graphs[name], BicliqueQuery(p, q),
+                                    method="auto", backend=backend).method
+        return cache[key]
+
+    return resolve
+
+
 def verify_served(graphs: dict[str, BipartiteGraph],
                   result: WorkloadResult,
                   backend: str = "fast") -> list[dict]:
@@ -47,12 +74,13 @@ def verify_served(graphs: dict[str, BipartiteGraph],
     """
     from repro.bench.runner import run_method
 
+    resolve = _method_resolver(graphs, result.spec.method, backend)
     served_counts: dict[tuple[str, int, int], set[int]] = {}
     for s in result.served:
         served_counts.setdefault((s.graph, s.p, s.q), set()).add(s.count)
     mismatches = []
     for (name, p, q), counts in sorted(served_counts.items()):
-        direct = run_method(result.spec.method, graphs[name],
+        direct = run_method(resolve(name, p, q), graphs[name],
                             BicliqueQuery(p, q), backend=backend).count
         if counts != {direct}:
             mismatches.append({"graph": name, "p": p, "q": q,
@@ -65,10 +93,11 @@ def _naive_loop(graphs: dict[str, BipartiteGraph], spec: WorkloadSpec,
     """Time ``n`` requests of the spec's stream, one direct call each."""
     from repro.bench.runner import run_method
 
+    resolve = _method_resolver(graphs, spec.method, backend)
     requests = generate_requests(spec, n)
     t0 = time.monotonic()
     for name, p, q in requests:
-        run_method(spec.method, graphs[name], BicliqueQuery(p, q),
+        run_method(resolve(name, p, q), graphs[name], BicliqueQuery(p, q),
                    backend=backend)
     seconds = time.monotonic() - t0
     return {"requests": len(requests), "wall_seconds": seconds,

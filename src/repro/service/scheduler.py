@@ -40,6 +40,7 @@ from dataclasses import dataclass, field
 from repro.core.counts import BicliqueQuery, CountResult
 from repro.errors import (DeadlineExceededError, QueueFullError,
                           ServiceClosedError, ServiceError)
+from repro.plan import ensure_known
 from repro.service.pool import SessionPool
 from repro.service.telemetry import Telemetry
 
@@ -63,10 +64,12 @@ class SchedulerConfig:
     backend: str = "fast"
     #: worker processes for the "par" backend (None = backend default)
     backend_workers: int | None = None
-    #: default counting method for requests that do not name one
+    #: default counting method for requests that do not name one;
+    #: ``"auto"`` lets the pooled session's planner pick per shape
     method: str = "GBC"
 
     def __post_init__(self) -> None:
+        ensure_known(self.method, allow_auto=True)
         if self.batch_window < 0:
             raise ServiceError(
                 f"batch_window must be >= 0, got {self.batch_window}")
@@ -142,9 +145,14 @@ class Scheduler:
         :class:`~repro.errors.DeadlineExceededError`.
 
         Raises :class:`~repro.errors.QueueFullError` when ``max_pending``
-        requests are already queued, and
-        :class:`~repro.errors.ServiceClosedError` after :meth:`close`.
-        Both are admission failures: the request was never queued.
+        requests are already queued,
+        :class:`~repro.errors.ServiceClosedError` after :meth:`close`,
+        and :class:`~repro.errors.UnknownMethodError` when ``method``
+        names nothing in the :mod:`repro.plan` registry (``"auto"`` is
+        allowed and resolves per batch through the pooled session's
+        planner).  All are admission failures: the request was never
+        queued — a bad method name can never reach a worker batch and
+        poison its co-batched futures.
         """
         query = p if isinstance(p, BicliqueQuery) else BicliqueQuery(p, q)
         if deadline is not None and deadline <= 0:
@@ -153,7 +161,8 @@ class Scheduler:
         now = time.monotonic()
         req = _Request(
             query=query,
-            method=method or self.config.method,
+            method=ensure_known(method or self.config.method,
+                                allow_auto=True),
             future=Future(),
             submitted_at=now,
             deadline_at=None if deadline is None else now + deadline)

@@ -23,11 +23,12 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.errors import DeadlineExceededError, QueueFullError, ServiceError
+from repro.plan import ensure_known
 
 __all__ = ["WorkloadSpec", "WorkloadResult", "ServedQuery",
            "generate_requests", "run_workload"]
@@ -74,6 +75,7 @@ class WorkloadSpec:
                                f"got {self.rate_qps}")
         if self.clients < 1:
             raise ServiceError(f"clients must be >= 1, got {self.clients}")
+        ensure_known(self.method, allow_auto=True)
 
     def as_dict(self) -> dict:
         return {

@@ -6,7 +6,6 @@ is exercised (with its shape assertions) inside the unit-test suite.
 """
 
 import numpy as np
-import pytest
 
 from repro.bench.experiments import (
     experiment_fig1b,

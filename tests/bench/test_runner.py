@@ -24,6 +24,17 @@ class TestRunMethod:
         with pytest.raises(ValueError):
             run_method("FOO", small_random, BicliqueQuery(2, 2))
 
+    def test_methods_is_the_plan_registry(self):
+        from repro.plan import method_names
+
+        assert METHODS == method_names()
+
+    def test_auto_matches_explicit(self, small_random):
+        q = BicliqueQuery(2, 2)
+        auto = run_method("auto", small_random, q)
+        assert auto.count == run_method("GBC", small_random, q).count
+        assert auto.algorithm in ("Basic", "BCL", "BCLP", "GBL", "GBC")
+
 
 class TestHeadlineSeconds:
     def test_device_result_uses_device_seconds(self, small_random):
@@ -53,6 +64,19 @@ class TestRunMatrix:
         plain = run_matrix(graphs, queries, methods)
         assert [(r.method, r.dataset, r.result.count) for r in shared] == \
             [(r.method, r.dataset, r.result.count) for r in plain]
+
+    def test_shared_prepare_timed_separately(self, small_random):
+        """share_sessions=True must charge session preparation to
+        MethodRun.prepare_seconds (once per graph), never to the first
+        warm cell's measure_seconds."""
+        graphs = {"g": small_random}
+        queries = [BicliqueQuery(2, 2)]
+        shared = run_matrix(graphs, queries, ["BCL", "GBC"],
+                            share_sessions=True)
+        assert len({r.prepare_seconds for r in shared}) == 1
+        assert all(r.prepare_seconds > 0 for r in shared)
+        plain = run_matrix(graphs, queries, ["BCL", "GBC"])
+        assert all(r.prepare_seconds == 0.0 for r in plain)
 
     def test_disagreement_detected(self, small_random, monkeypatch):
         import repro.bench.runner as runner_mod

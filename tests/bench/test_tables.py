@@ -24,7 +24,7 @@ class TestRenderTable:
         lines = out.splitlines()
         assert lines[0] == "T"
         # all data rows equal width
-        assert len(set(len(l) for l in lines[2:])) <= 2
+        assert len(set(len(line) for line in lines[2:])) <= 2
 
     def test_contains_cells(self):
         out = render_table("T", ["col"], [["value42"]])

@@ -2,12 +2,11 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.core.counts import BicliqueQuery
 from repro.gpu.device import small_test_device
-from repro.graph.builders import complete_bipartite, from_adjacency, from_edges
+from repro.graph.builders import complete_bipartite, from_adjacency
 from repro.graph.generators import (
     paper_synthetic,
     planted_bicliques,

@@ -6,7 +6,7 @@ from repro.core.butterfly import butterfly_count
 from repro.core.counts import BicliqueQuery
 from repro.core.verify import brute_force_count
 from repro.graph.builders import complete_bipartite, empty_graph
-from repro.graph.generators import random_bipartite, star_bipartite
+from repro.graph.generators import star_bipartite
 
 
 class TestButterfly:

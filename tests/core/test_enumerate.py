@@ -1,8 +1,6 @@
 """Tests for biclique enumeration."""
 
-from itertools import combinations
 
-import pytest
 
 from repro.core.counts import BicliqueQuery
 from repro.core.enumerate import enumerate_bicliques

@@ -1,7 +1,6 @@
 """Tests for the sampling estimator."""
 
 import numpy as np
-import pytest
 
 from repro.core.counts import BicliqueQuery
 from repro.core.estimate import estimate_count

@@ -7,7 +7,7 @@ from repro.core.gbc import GBCOptions, gbc_count, gbc_variant
 from repro.core.gbl import gbl_count
 from repro.errors import QueryError
 from repro.gpu.device import rtx_3090, small_test_device
-from repro.graph.generators import paper_synthetic, power_law_bipartite
+from repro.graph.generators import power_law_bipartite
 
 
 @pytest.fixture(scope="module")

@@ -1,6 +1,5 @@
 """Tests for the GPU baseline (GBL)."""
 
-import pytest
 
 from repro.core.counts import BicliqueQuery
 from repro.core.gbl import gbl_count

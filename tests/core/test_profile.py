@@ -1,11 +1,10 @@
 """Tests for the search-tree profiler."""
 
-import pytest
 
 from repro.core.counts import BicliqueQuery
 from repro.core.profile import profile_search
 from repro.core.verify import brute_force_count
-from repro.graph.generators import paper_synthetic, power_law_bipartite
+from repro.graph.generators import paper_synthetic
 
 
 class TestProfileSearch:

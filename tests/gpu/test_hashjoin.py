@@ -1,7 +1,6 @@
 """Tests for the hash-based intersection comparator."""
 
 import numpy as np
-import pytest
 
 from repro.gpu.device import rtx_3090
 from repro.gpu.hashjoin import HashedList, build_hash_table, hash_intersect

@@ -1,7 +1,6 @@
 """Tests for simulated-device set intersection."""
 
 import numpy as np
-import pytest
 
 from repro.gpu.device import rtx_3090, small_test_device
 from repro.gpu.intersect import (

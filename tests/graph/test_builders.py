@@ -1,6 +1,5 @@
 """Tests for graph builders."""
 
-import numpy as np
 import pytest
 
 from repro.errors import GraphValidationError

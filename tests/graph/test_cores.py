@@ -1,6 +1,5 @@
 """Tests for (α, β)-core decomposition and biclique-safe pruning."""
 
-import numpy as np
 import pytest
 
 from repro.core.counts import BicliqueQuery

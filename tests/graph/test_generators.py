@@ -63,9 +63,11 @@ class TestPaperSynthetic:
         from repro.graph.twohop import n2k
         tight = paper_synthetic(60, 50, mean_degree=8, locality=12, seed=5)
         loose = paper_synthetic(60, 50, mean_degree=8, locality=50, seed=5)
-        t = np.mean([len(n2k(tight, LAYER_U, u, 2)) for u in range(60)])
-        l = np.mean([len(n2k(loose, LAYER_U, u, 2)) for u in range(60)])
-        assert t > l
+        tight_mean = np.mean([len(n2k(tight, LAYER_U, u, 2))
+                              for u in range(60)])
+        loose_mean = np.mean([len(n2k(loose, LAYER_U, u, 2))
+                              for u in range(60)])
+        assert tight_mean > loose_mean
 
 
 class TestPlanted:

@@ -1,6 +1,5 @@
 """Tests for Definition-2 vertex priority and layer selection."""
 
-import numpy as np
 
 from repro.graph.bipartite import LAYER_U, LAYER_V
 from repro.graph.builders import complete_bipartite, from_adjacency

@@ -1,7 +1,6 @@
 """Tests for the truncated-bitmap codec."""
 
 import numpy as np
-import pytest
 
 from repro.htb.bitmap import (
     and_aligned,

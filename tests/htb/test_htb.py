@@ -1,7 +1,6 @@
 """Tests for the HTB structure and its simulated-device intersection."""
 
 import numpy as np
-import pytest
 
 from repro.graph.bipartite import LAYER_U
 from repro.graph.twohop import build_two_hop_index

@@ -1,6 +1,5 @@
 """Tests for BCPar (Algorithm 3)."""
 
-import numpy as np
 import pytest
 
 from repro.errors import PartitionError

@@ -1,6 +1,5 @@
 """Tests for the out-of-memory partitioned counting runner."""
 
-import numpy as np
 import pytest
 
 from repro.core.counts import BicliqueQuery

@@ -1,0 +1,75 @@
+"""The method registry: listing, capabilities, and failure modes."""
+
+import pytest
+
+from repro.bench.runner import METHODS
+from repro.errors import QueryError, ReproError, UnknownMethodError
+from repro.plan import (MethodSpec, auto_candidates, ensure_known,
+                        get_method, method_names, register_method)
+
+
+class TestListing:
+    def test_canonical_order(self):
+        assert method_names() == ("Basic", "BCL", "BCLP", "GBL", "GBC",
+                                  "GBC-NH", "GBC-NB", "GBC-NW")
+
+    def test_bench_runner_methods_is_the_registry(self):
+        assert METHODS == method_names()
+
+    def test_every_listed_method_resolves(self):
+        for name in method_names():
+            spec = get_method(name)
+            assert spec.name == name
+            assert callable(spec.runner)
+
+    def test_auto_candidates_exclude_ablations(self):
+        names = [spec.name for spec in auto_candidates()]
+        assert names == ["Basic", "BCL", "BCLP", "GBL", "GBC"]
+        assert all(spec.cost is not None for spec in auto_candidates())
+
+
+class TestCapabilities:
+    def test_basic_cannot_pin_a_layer(self):
+        assert not get_method("Basic").supports_layer
+
+    def test_device_methods_report_metrics(self):
+        for name in ("GBL", "GBC", "GBC-NH"):
+            assert get_method(name).instrumented_metrics
+            assert get_method(name).device_model
+        for name in ("Basic", "BCL", "BCLP"):
+            assert not get_method(name).device_model
+
+    def test_gbc_needs_htb_state(self):
+        assert "htb" in get_method("GBC").prepared_kinds
+        assert "htb" not in get_method("BCL").prepared_kinds
+
+    def test_variant_default_options(self):
+        from repro.core.gbc import gbc_variant
+
+        assert get_method("GBC-NH").default_options() == gbc_variant("NH")
+        assert get_method("GBC").default_options is None
+
+
+class TestFailureModes:
+    def test_unknown_method_raises_named_error(self):
+        with pytest.raises(UnknownMethodError, match="FOO"):
+            get_method("FOO")
+
+    def test_unknown_method_error_is_query_and_value_error(self):
+        assert issubclass(UnknownMethodError, QueryError)
+        assert issubclass(UnknownMethodError, ValueError)
+        assert issubclass(UnknownMethodError, ReproError)
+
+    def test_auto_is_not_a_method(self):
+        with pytest.raises(UnknownMethodError):
+            get_method("auto")
+
+    def test_ensure_known_gates_auto(self):
+        assert ensure_known("GBC") == "GBC"
+        assert ensure_known("auto", allow_auto=True) == "auto"
+        with pytest.raises(UnknownMethodError):
+            ensure_known("auto")
+
+    def test_double_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_method(MethodSpec(name="GBC", runner=lambda *a: None))

@@ -1,6 +1,5 @@
 """Property-based correctness of the counters against brute force."""
 
-import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -8,9 +8,7 @@ during concurrent eviction — the exact races these tests pin down.
 """
 
 import threading
-from dataclasses import replace
 
-import pytest
 
 from repro.core.counts import BicliqueQuery, CountResult
 from repro.graph.generators import power_law_bipartite

@@ -1,7 +1,5 @@
 """Tests for Border (Algorithm 2)."""
 
-import numpy as np
-import pytest
 
 from repro.graph.bipartite import LAYER_U, LAYER_V
 from repro.graph.builders import from_adjacency

@@ -2,7 +2,7 @@
 
 import numpy as np
 
-from repro.graph.bipartite import LAYER_U, LAYER_V
+from repro.graph.bipartite import LAYER_U
 from repro.reorder.base import validate_permutation
 from repro.reorder.degree import degree_permutation, degree_reordering
 

@@ -1,8 +1,7 @@
 """Tests for the Gorder-style comparator."""
 
-import numpy as np
 
-from repro.graph.bipartite import LAYER_U, LAYER_V
+from repro.graph.bipartite import LAYER_U
 from repro.graph.generators import power_law_bipartite
 from repro.reorder.base import apply_reordering, validate_permutation
 from repro.reorder.gorder import gorder_permutation, gorder_reordering

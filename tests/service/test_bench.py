@@ -2,7 +2,6 @@
 
 import json
 
-import pytest
 
 from repro.graph.generators import random_bipartite
 from repro.service.bench import serve_bench, verify_served, write_artifact

@@ -90,6 +90,37 @@ class TestServing:
             result = sched.count("a", 2, 2, method="BCL")
         assert result.algorithm == "BCL"
 
+    def test_unknown_method_fails_fast_at_submit(self):
+        """A bad method name must be an admission failure — raised by
+        submit itself, never parked on a future where it would poison a
+        worker batch."""
+        from repro.errors import UnknownMethodError
+
+        with Scheduler(make_pool(), batch_window=0.0) as sched:
+            with pytest.raises(UnknownMethodError, match="NOPE"):
+                sched.submit("a", 2, 2, method="NOPE")
+            assert sched.pending() == 0
+            # the scheduler is unharmed: valid work still completes
+            assert sched.count("a", 2, 2).count == gbc_count(
+                GRAPHS["a"], BicliqueQuery(2, 2), backend="fast").count
+
+    def test_unknown_default_method_rejected_at_config(self):
+        from repro.errors import UnknownMethodError
+        from repro.service.scheduler import SchedulerConfig
+
+        with pytest.raises(UnknownMethodError):
+            SchedulerConfig(method="NOPE")
+
+    def test_auto_method_serves_bit_identical(self):
+        with Scheduler(make_pool(), batch_window=0.0,
+                       method="auto") as sched:
+            result = sched.count("a", 2, 2)
+            override = sched.count("a", 2, 2, method="auto")
+        direct = gbc_count(GRAPHS["a"], BicliqueQuery(2, 2),
+                           backend="fast")
+        assert result.count == direct.count
+        assert override.count == direct.count
+
     def test_asyncio_front_end(self):
         async def drive(sched):
             return await asyncio.gather(

@@ -74,6 +74,43 @@ class TestCommands:
         assert "result cache: 1 hit(s), 1 miss(es)" \
             in capsys.readouterr().out
 
+    def test_count_auto(self, capsys):
+        assert main(["count", "--dataset", "YT", "--scale", "tiny",
+                     "-p", "2", "-q", "2", "--method", "auto"]) == 0
+        out = capsys.readouterr().out
+        assert "plan: auto ->" in out
+        assert "bicliques:" in out
+
+    def test_batch_auto(self, capsys):
+        assert main(["batch", "--dataset", "S1", "--scale", "tiny",
+                     "--queries", "2x2,2x3", "--method", "auto"]) == 0
+        out = capsys.readouterr().out
+        assert "(2,2)" in out and "(2,3)" in out
+
+    def test_plan_explain(self, capsys):
+        assert main(["plan", "explain", "--dataset", "YT",
+                     "--scale", "tiny", "-p", "2", "-q", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "<- chosen" in out
+        assert "candidate plan(s), cheapest first" in out
+        assert "promising roots" in out
+        for method in ("Basic", "BCL", "BCLP", "GBL", "GBC"):
+            assert method in out
+
+    def test_plan_explain_measure(self, capsys):
+        assert main(["plan", "explain", "--dataset", "S1",
+                     "--scale", "tiny", "-p", "2", "-q", "2",
+                     "--backend", "fast", "--measure"]) == 0
+        assert "measured" in capsys.readouterr().out
+
+    def test_plan_explain_deterministic(self, capsys):
+        args = ["plan", "explain", "--dataset", "GH", "--scale", "tiny",
+                "-p", "2", "-q", "2", "--seed", "3"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        assert capsys.readouterr().out == first
+
     def test_batch_workers_with_sim_backend_errors(self, capsys):
         assert main(["batch", "--dataset", "YT", "--scale", "tiny",
                      "--queries", "2x2", "--backend", "sim",

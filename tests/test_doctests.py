@@ -12,15 +12,18 @@ import pytest
 import repro
 import repro.engine
 import repro.engine.base
+import repro.plan
 import repro.query
 import repro.service
 import repro.service.pool
 import repro.service.telemetry
 
 MODULES = [repro, repro.query, repro.engine, repro.engine.base,
-           repro.service, repro.service.pool, repro.service.telemetry]
+           repro.plan, repro.service, repro.service.pool,
+           repro.service.telemetry]
 #: modules whose docstrings are required to carry at least one example
-MUST_HAVE_EXAMPLES = {repro, repro.query, repro.engine, repro.service}
+MUST_HAVE_EXAMPLES = {repro, repro.query, repro.engine, repro.plan,
+                      repro.service}
 
 
 @pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)

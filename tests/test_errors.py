@@ -10,6 +10,8 @@ class TestHierarchy:
         errors.GraphFormatError,
         errors.GraphValidationError,
         errors.QueryError,
+        errors.UnknownMethodError,
+        errors.PlanError,
         errors.DeviceError,
         errors.SharedMemoryExceeded,
         errors.DeviceMemoryExceeded,
@@ -35,6 +37,13 @@ class TestHierarchy:
     def test_query_error_is_a_value_error(self):
         """Malformed query specs are bad values; both idioms must work."""
         assert issubclass(errors.QueryError, ValueError)
+
+    def test_unknown_method_is_a_query_error(self):
+        """A bad method name is a bad query value — catchable as
+        QueryError, ValueError, or by its own name at the boundary
+        (Scheduler.submit, run_method, the planner) that raised it."""
+        assert issubclass(errors.UnknownMethodError, errors.QueryError)
+        assert issubclass(errors.UnknownMethodError, ValueError)
 
     def test_single_catch_at_api_boundary(self):
         """Library misuse is catchable with one except clause."""

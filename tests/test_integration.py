@@ -7,8 +7,6 @@ or generator -> partition -> per-partition count -> aggregate.
 
 from math import comb
 
-import numpy as np
-import pytest
 
 from repro import (
     BicliqueQuery,
