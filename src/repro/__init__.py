@@ -121,6 +121,18 @@ from repro.service import (
 
 __version__ = "1.1.0"
 
+
+def __getattr__(name: str):
+    # mirror repro.engine's lazy export: importing the native engine
+    # eagerly here would load its cost-model registration mid-way
+    # through this package's own import chain
+    if name == "NativeBackend":
+        from repro.engine import NativeBackend
+
+        return NativeBackend
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "__version__",
     "BicliqueQuery", "CountResult", "DeviceRunResult", "GBCOptions",
@@ -131,7 +143,8 @@ __all__ = [
     "planted_bicliques", "star_bipartite", "read_edge_list", "write_edge_list",
     "DeviceSpec", "rtx_3090", "small_test_device",
     "KernelBackend", "SimulatedDeviceBackend", "FastBackend",
-    "ParallelBackend", "BACKEND_NAMES", "get_backend", "resolve_backend",
+    "ParallelBackend", "NativeBackend", "BACKEND_NAMES", "get_backend",
+    "resolve_backend",
     "CountPlan", "MethodSpec", "Planner", "execute_plan", "method_names",
     "plan_query", "register_method",
     "GraphSession", "BatchResult", "ResultCache", "batch_count",

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from math import comb
 
 import numpy as np
 
@@ -21,9 +22,51 @@ from repro.graph.priority import priority_order, rank_from_order
 from repro.graph.twohop import TwoHopIndex, build_two_hop_index
 
 __all__ = ["DeviceInputs", "prepare_device_inputs", "assign_roots_to_blocks",
-           "BALANCE_STRATEGIES"]
+           "comb_sum", "resolve_native_pack", "BALANCE_STRATEGIES"]
 
 BALANCE_STRATEGIES = ("none", "pre", "runtime", "joint")
+
+
+def comb_sum(sizes: np.ndarray, k: int) -> int:
+    """Exact ``sum(C(s, k) for s in sizes)`` over a leaf frontier.
+
+    The search-leaf contribution of a whole batch: sizes below ``k``
+    contribute zero, exactly like the per-candidate ``comb`` calls they
+    replace.  A small lookup table vectorises the common case; when the
+    largest binomial could overflow a summed int64, the sum falls back
+    to Python's arbitrary-precision integers — counts stay exact, which
+    the golden harness asserts bit-for-bit.
+    """
+    if len(sizes) == 0:
+        return 0
+    top = int(sizes.max())
+    if top < k:
+        return 0
+    table = [comb(s, k) for s in range(top + 1)]
+    if table[top] < (1 << 62) // len(sizes):
+        lut = np.asarray(table, dtype=np.int64)
+        return int(lut[sizes].sum())
+    return sum(table[s] for s in sizes.tolist())
+
+
+def resolve_native_pack(engine, inputs: "DeviceInputs", session=None):
+    """The CSR pack a batch-kernel engine runs over, or ``None``.
+
+    Engines that declare ``wants_pack`` (the native backend) receive a
+    :class:`repro.engine.native.NativePack`: from the session's
+    prepared-state cache when one is supplied (built once per
+    (layer, k), the ``native:<layer>:<k>`` plan requirement), otherwise
+    packed ad hoc from the freshly prepared inputs.  Other engines get
+    ``None`` and the counters index the graph arrays directly.
+    """
+    if not getattr(engine, "wants_pack", False):
+        return None
+    if session is not None:
+        return session.native_pack(inputs.anchored_layer, inputs.q)
+    from repro.engine.native import build_native_pack
+
+    return build_native_pack(inputs.graph, inputs.index,
+                             inputs.anchored_layer, inputs.q)
 
 
 @dataclass

@@ -26,8 +26,12 @@ from repro.core.counts import BicliqueQuery, DeviceRunResult
 from repro.core.device_common import (
     BALANCE_STRATEGIES,
     assign_roots_to_blocks,
+    comb_sum,
     prepare_device_inputs,
+    resolve_native_pack,
 )
+from repro.core.frontier import csr_frontier_count, htb_frontier_count
+from repro.graph.csr import row_lengths
 from repro.engine.base import KernelBackend, resolve_backend
 from repro.errors import QueryError
 from repro.gpu.costmodel import effective_cycles, kernel_seconds
@@ -116,6 +120,7 @@ class _RootKernel:
     engine: KernelBackend
     htb1: HTB | None
     htb2: HTB | None
+    pack: object = None
     metrics: KernelMetrics = field(default_factory=KernelMetrics)
     working: _WorkingSet = field(default_factory=_WorkingSet)
     total: int = 0
@@ -150,6 +155,7 @@ class _RootKernel:
         self.working.push(parent_words)
         batch = self._batch_size(parent_words)
         hybrid = self.opts.hybrid and batch > 1
+        warps = self.spec.warps_per_block
         for start in range(0, len(children), batch):
             group = children[start:start + batch]
             if hybrid:
@@ -163,27 +169,32 @@ class _RootKernel:
                     self.metrics,
                     len(group) * max(cl.num_words, cr.num_words),
                     self.spec.warps_per_block)
+            if depth + 1 == p:
+                # leaf level: only popcounts feed the binomial sum —
+                # sizes below q contribute comb(.) == 0, like the
+                # per-child guard they replace
+                counts = self.engine.bitmap_intersect_counts(
+                    cr, self.htb1, group, self.metrics, warps=warps,
+                    keys_in_shared=hybrid, record_slots=not hybrid)
+                self.total += comb_sum(counts, q)
+                if hybrid:
+                    self.working.pop(parent_words * len(group))
+                continue
+            new_crs = self.engine.bitmap_intersect_many(
+                cr, self.htb1, group, self.metrics, warps=warps,
+                keys_in_shared=hybrid, record_slots=not hybrid)
+            keep = [j for j, s in enumerate(new_crs) if s.count() >= q]
             results = []
-            for u in group:
-                u = int(u)
-                new_cr = self.engine.bitmap_intersect(
-                    cr, self.htb1.view(u), self.metrics,
-                    warps=self.spec.warps_per_block,
-                    base_word=self.htb1.base_word(u),
+            if keep:
+                new_cls = self.engine.bitmap_intersect_many(
+                    cl, self.htb2, group[keep], self.metrics,
+                    warps=warps,
                     keys_in_shared=hybrid, record_slots=not hybrid)
-                if new_cr.count() < q:
-                    continue
-                if depth + 1 == p:
-                    self.total += comb(new_cr.count(), q)
-                    continue
-                new_cl = self.engine.bitmap_intersect(
-                    cl, self.htb2.view(u), self.metrics,
-                    warps=self.spec.warps_per_block,
-                    base_word=self.htb2.base_word(u),
-                    keys_in_shared=hybrid, record_slots=not hybrid)
-                if new_cl.count() < p - depth - 1:
-                    continue
-                results.append((new_cl, new_cr))
+                need = p - depth - 1
+                for j, new_cl in zip(keep, new_cls):
+                    if new_cl.count() < need:
+                        continue
+                    results.append((new_cl, new_crs[j]))
             if hybrid:
                 self.working.pop(parent_words * len(group))
             for new_cl, new_cr in results:
@@ -204,12 +215,19 @@ class _RootKernel:
 
     def _rec_csr(self, depth: int, cl: np.ndarray, cr: np.ndarray,
                  p: int, q: int) -> None:
-        g = self.inputs.graph
-        index = self.inputs.index
+        if self.pack is not None:
+            adj_off, adj_val = self.pack.adj_offsets, self.pack.adj_values
+            idx_off, idx_val = self.pack.idx_offsets, self.pack.idx_values
+        else:
+            g = self.inputs.graph
+            index = self.inputs.index
+            adj_off, adj_val = g.u_offsets, g.u_neighbors
+            idx_off, idx_val = index.offsets, index.neighbors
         parent_words = len(cl) + len(cr)
         self.working.push(parent_words)
         batch = self._batch_size(parent_words)
         hybrid = self.opts.hybrid and batch > 1
+        warps = self.spec.warps_per_block
         for start in range(0, len(cl), batch):
             group = cl[start:start + batch]
             if hybrid:
@@ -220,27 +238,28 @@ class _RootKernel:
                 self.engine.record_work(self.metrics,
                                         len(group) * max(len(cl), len(cr)),
                                         self.spec.warps_per_block)
+            if depth + 1 == p:
+                sizes = self.engine.intersect_sizes(
+                    cr, adj_off, adj_val, group, self.metrics,
+                    warps=warps, record_slots=not hybrid)
+                self.total += comb_sum(sizes, q)
+                if hybrid:
+                    self.working.pop(parent_words * len(group))
+                continue
+            new_crs = self.engine.intersect_many(
+                cr, adj_off, adj_val, group, self.metrics,
+                warps=warps, record_slots=not hybrid)
+            keep = [j for j, arr in enumerate(new_crs) if len(arr) >= q]
             results = []
-            for u in group:
-                u = int(u)
-                new_cr = self.engine.intersect(
-                    cr, g.neighbors(LAYER_U, u), self.metrics,
-                    warps=self.spec.warps_per_block,
-                    base_word=int(g.u_offsets[u]),
-                    record_slots=not hybrid)
-                if len(new_cr) < q:
-                    continue
-                if depth + 1 == p:
-                    self.total += comb(len(new_cr), q)
-                    continue
-                new_cl = self.engine.intersect(
-                    cl, index.of(u), self.metrics,
-                    warps=self.spec.warps_per_block,
-                    base_word=int(index.offsets[u]),
-                    record_slots=not hybrid)
-                if len(new_cl) < p - depth - 1:
-                    continue
-                results.append((new_cl, new_cr))
+            if keep:
+                new_cls = self.engine.intersect_many(
+                    cl, idx_off, idx_val, group[keep], self.metrics,
+                    warps=warps, record_slots=not hybrid)
+                need = p - depth - 1
+                for j, new_cl in zip(keep, new_cls):
+                    if len(new_cl) < need:
+                        continue
+                    results.append((new_cl, new_crs[j]))
             if hybrid:
                 self.working.pop(parent_words * len(group))
             for new_cl, new_cr in results:
@@ -257,7 +276,7 @@ class _RootKernel:
 
 def _gbc_chunk_kernel(inputs, positions, spec: DeviceSpec, opts: GBCOptions,
                       engine: KernelBackend, htb1: HTB | None,
-                      htb2: HTB | None
+                      htb2: HTB | None, pack=None
                       ) -> tuple[int, list[float], KernelMetrics, int]:
     """Run the per-root kernel over a chunk of root positions."""
     total = 0
@@ -267,7 +286,7 @@ def _gbc_chunk_kernel(inputs, positions, spec: DeviceSpec, opts: GBCOptions,
     for pos in positions:
         kernel = _RootKernel(inputs=inputs, spec=spec, opts=opts,
                              engine=engine, htb1=htb1, htb2=htb2,
-                             metrics=engine.new_metrics())
+                             pack=pack, metrics=engine.new_metrics())
         kernel.run(int(inputs.roots[pos]), inputs.p, inputs.q)
         total += kernel.total
         cycles.append(effective_cycles(kernel.metrics, spec))
@@ -314,8 +333,12 @@ def gbc_count(graph: BipartiteGraph, query: BicliqueQuery,
             htb2 = htb_from_two_hop(inputs.index)
         htb_seconds = time.perf_counter() - t0
 
-    weights = np.asarray([inputs.index.size(int(r)) for r in inputs.roots],
-                         dtype=np.float64)
+    # the CSR path (NB variant) is the only consumer of the native pack
+    pack = (None if opts.use_htb
+            else resolve_native_pack(engine, inputs, session=session))
+
+    weights = row_lengths(inputs.index.offsets,
+                          inputs.roots).astype(np.float64)
     total = 0
     per_root_cycles = [0.0] * len(inputs.roots)
     agg = KernelMetrics()
@@ -323,7 +346,7 @@ def gbc_count(graph: BipartiteGraph, query: BicliqueQuery,
     if engine.parallel:
         for idxs, part in engine.map_shards(
                 lambda idxs: _gbc_chunk_kernel(inputs, idxs, spec, opts,
-                                               engine, htb1, htb2),
+                                               engine, htb1, htb2, pack),
                 len(inputs.roots), weights=weights):
             part_total, part_cycles, part_agg, part_peak = part
             total += part_total
@@ -331,16 +354,43 @@ def gbc_count(graph: BipartiteGraph, query: BicliqueQuery,
             peak_words = max(peak_words, part_peak)
             for pos, i in enumerate(idxs):
                 per_root_cycles[i] = part_cycles[pos]
+    elif engine.frontier:
+        # level-synchronous traversal (identical counts, one pairwise
+        # kernel call per search level across every root); the hybrid
+        # batching knobs only shape simulated accounting, which the
+        # frontier engines don't collect
+        agg = engine.new_metrics()
+        if opts.use_htb:
+            total, peak_words = htb_frontier_count(
+                engine, agg, htb1, htb2, inputs.roots, inputs.p,
+                inputs.q, warps=spec.warps_per_block)
+        else:
+            if pack is not None:
+                adj = (pack.adj_offsets, pack.adj_values)
+                idx = (pack.idx_offsets, pack.idx_values)
+            else:
+                adj = (inputs.graph.u_offsets, inputs.graph.u_neighbors)
+                idx = (inputs.index.offsets, inputs.index.neighbors)
+            total, peak_words = csr_frontier_count(
+                engine, agg, adj[0], adj[1], idx[0], idx[1],
+                inputs.roots, inputs.p, inputs.q,
+                warps=spec.warps_per_block)
     else:
         total, per_root_cycles, agg, peak_words = _gbc_chunk_kernel(
             inputs, range(len(inputs.roots)), spec, opts, engine,
-            htb1, htb2)
+            htb1, htb2, pack)
 
-    assignment = assign_roots_to_blocks(inputs.roots, weights, blocks,
-                                        opts.balance)
-    costs = [[per_root_cycles[i] for i in blk] for blk in assignment]
     stealing = opts.balance in ("runtime", "joint")
-    sched = simulate_blocks(costs, spec, stealing=stealing)
+    if engine.frontier:
+        # no per-root cycle profile exists on the frontier path (the
+        # engine is uninstrumented and roots run level-batched, not
+        # block-by-block), so there is no schedule to simulate
+        sched = simulate_blocks([], spec, stealing=stealing)
+    else:
+        assignment = assign_roots_to_blocks(inputs.roots, weights, blocks,
+                                            opts.balance)
+        costs = [[per_root_cycles[i] for i in blk] for blk in assignment]
+        sched = simulate_blocks(costs, spec, stealing=stealing)
 
     return DeviceRunResult(
         algorithm=opts.variant_name,
@@ -385,8 +435,10 @@ def _predicted_seconds(signals: CostSignals) -> float:
         )
         metrics.record_slots(active=3, total=4)      # hybrid DFS-BFS
         return kernel_seconds(metrics, signals.device)
-    enum = GBC_HOST_OVERHEAD * signals.enum_seconds(signals.merge_calls,
-                                                    signals.comparisons)
+    overhead = GBC_NATIVE_OVERHEAD if signals.backend == "native" \
+        else GBC_HOST_OVERHEAD
+    enum = overhead * signals.enum_seconds(signals.merge_calls,
+                                           signals.comparisons)
     htb = (signals.num_edges * HTB_BUILD_SECONDS_PER_EDGE
            + (signals.num_u + signals.num_v) * HTB_BUILD_SECONDS_PER_VERTEX)
     return signals.priority_prepare_seconds() + htb + signals.sharded(enum)
@@ -394,6 +446,9 @@ def _predicted_seconds(signals: CostSignals) -> float:
 
 #: fast-backend wall overhead of the Python HTB kernel vs plain BCL
 GBC_HOST_OVERHEAD = 2.5
+#: native-backend overhead: whole HTB frontiers per vectorised call
+#: instead of one Python bitmap intersection per child
+GBC_NATIVE_OVERHEAD = 1.4
 #: HTB materialisation cost per edge / per vertex
 HTB_BUILD_SECONDS_PER_EDGE = 1.5e-6
 HTB_BUILD_SECONDS_PER_VERTEX = 5e-6

@@ -15,7 +15,14 @@ from math import comb
 import numpy as np
 
 from repro.core.counts import BicliqueQuery, DeviceRunResult
-from repro.core.device_common import assign_roots_to_blocks, prepare_device_inputs
+from repro.core.device_common import (
+    assign_roots_to_blocks,
+    comb_sum,
+    prepare_device_inputs,
+    resolve_native_pack,
+)
+from repro.core.frontier import csr_frontier_count
+from repro.graph.csr import row_lengths
 from repro.engine.base import KernelBackend, resolve_backend
 from repro.gpu.costmodel import effective_cycles, kernel_seconds
 from repro.plan.registry import CostSignals, MethodSpec, register_method
@@ -28,10 +35,25 @@ __all__ = ["gbl_count"]
 
 
 def _gbl_root_kernel(inputs, root: int, spec: DeviceSpec,
-                     engine: KernelBackend) -> tuple[int, KernelMetrics]:
-    """DFS search tree of one root with binary-search intersections."""
+                     engine: KernelBackend,
+                     pack=None) -> tuple[int, KernelMetrics]:
+    """DFS search tree of one root with binary-search intersections.
+
+    Each recursion level submits its whole frontier (every candidate's
+    CR update, then the survivors' CL updates) through the engine's
+    batch entry points — one kernel call per level instead of one per
+    candidate, the launch shape of the paper's kernels.  The default
+    batch implementations loop the scalar kernel with identical
+    arguments, so simulated metrics are unchanged.
+    """
     g = inputs.graph
     index = inputs.index
+    if pack is not None:
+        adj_off, adj_val = pack.adj_offsets, pack.adj_values
+        idx_off, idx_val = pack.idx_offsets, pack.idx_values
+    else:
+        adj_off, adj_val = g.u_offsets, g.u_neighbors
+        idx_off, idx_val = index.offsets, index.neighbors
     p, q = inputs.p, inputs.q
     warps = spec.warps_per_block
     metrics = engine.new_metrics()
@@ -46,29 +68,31 @@ def _gbl_root_kernel(inputs, root: int, spec: DeviceSpec,
 
     def rec(depth: int, cl: np.ndarray, cr: np.ndarray) -> None:
         nonlocal total
-        for u in cl:
-            u = int(u)
-            new_cr = engine.intersect(
-                cr, g.neighbors(LAYER_U, u), metrics,
-                warps=warps, base_word=int(g.u_offsets[u]))
-            if len(new_cr) < q:
+        if depth + 1 == p:
+            # leaf level: only intersection sizes feed the binomial sum
+            sizes = engine.intersect_sizes(cr, adj_off, adj_val, cl,
+                                           metrics, warps=warps)
+            total += comb_sum(sizes, q)
+            return
+        new_crs = engine.intersect_many(cr, adj_off, adj_val, cl,
+                                        metrics, warps=warps)
+        keep = [j for j, arr in enumerate(new_crs) if len(arr) >= q]
+        if not keep:
+            return
+        new_cls = engine.intersect_many(cl, idx_off, idx_val, cl[keep],
+                                        metrics, warps=warps)
+        need = p - depth - 1
+        for j, new_cl in zip(keep, new_cls):
+            if len(new_cl) < need:
                 continue
-            if depth + 1 == p:
-                total += comb(len(new_cr), q)
-                continue
-            new_cl = engine.intersect(
-                cl, index.of(u), metrics,
-                warps=warps, base_word=int(index.offsets[u]))
-            if len(new_cl) < p - depth - 1:
-                continue
-            rec(depth + 1, new_cl, new_cr)
+            rec(depth + 1, new_cl, new_crs[j])
 
     rec(1, cl0, cr0)
     return total, metrics
 
 
 def _gbl_chunk_kernel(inputs, positions, spec: DeviceSpec,
-                      engine: KernelBackend
+                      engine: KernelBackend, pack=None
                       ) -> tuple[int, list[float], KernelMetrics]:
     """Run the per-root kernel over a chunk of root positions."""
     total = 0
@@ -76,7 +100,7 @@ def _gbl_chunk_kernel(inputs, positions, spec: DeviceSpec,
     agg = KernelMetrics()
     for pos in positions:
         got, metrics = _gbl_root_kernel(inputs, int(inputs.roots[pos]),
-                                        spec, engine)
+                                        spec, engine, pack)
         total += got
         cycles.append(effective_cycles(metrics, spec))
         agg.merge(metrics)
@@ -99,29 +123,51 @@ def gbl_count(graph: BipartiteGraph, query: BicliqueQuery,
     engine = resolve_backend(backend, spec, workers=workers)
     wall0 = time.perf_counter()
     inputs = prepare_device_inputs(graph, query, layer, session=session)
+    pack = resolve_native_pack(engine, inputs, session=session)
     blocks = num_blocks or spec.blocks_per_launch
 
-    weights = np.asarray([inputs.index.size(int(r)) for r in inputs.roots],
-                         dtype=np.float64)
+    weights = row_lengths(inputs.index.offsets,
+                          inputs.roots).astype(np.float64)
     total = 0
     per_root_cycles = [0.0] * len(inputs.roots)
     agg = KernelMetrics()
     if engine.parallel:
         for idxs, (part_total, part_cycles, part_agg) in engine.map_shards(
-                lambda idxs: _gbl_chunk_kernel(inputs, idxs, spec, engine),
+                lambda idxs: _gbl_chunk_kernel(inputs, idxs, spec, engine,
+                                               pack),
                 len(inputs.roots), weights=weights):
             total += part_total
             agg.merge(part_agg)
             for pos, i in enumerate(idxs):
                 per_root_cycles[i] = part_cycles[pos]
+    elif engine.frontier:
+        # level-synchronous traversal: one pairwise kernel call per
+        # search level across every root (identical counts, none of the
+        # per-node dispatch the recursion pays)
+        if pack is not None:
+            adj = (pack.adj_offsets, pack.adj_values)
+            idx = (pack.idx_offsets, pack.idx_values)
+        else:
+            adj = (inputs.graph.u_offsets, inputs.graph.u_neighbors)
+            idx = (inputs.index.offsets, inputs.index.neighbors)
+        agg = engine.new_metrics()
+        total, _ = csr_frontier_count(
+            engine, agg, adj[0], adj[1], idx[0], idx[1], inputs.roots,
+            inputs.p, inputs.q, warps=spec.warps_per_block)
     else:
         total, per_root_cycles, agg = _gbl_chunk_kernel(
-            inputs, range(len(inputs.roots)), spec, engine)
+            inputs, range(len(inputs.roots)), spec, engine, pack)
 
-    assignment = assign_roots_to_blocks(inputs.roots, weights, blocks,
-                                        "interleave")
-    costs = [[per_root_cycles[i] for i in blk] for blk in assignment]
-    sched = simulate_blocks(costs, spec, stealing=False)
+    if engine.frontier:
+        # no per-root cycle profile exists on the frontier path (the
+        # engine is uninstrumented and roots run level-batched, not
+        # block-by-block), so there is no schedule to simulate
+        sched = simulate_blocks([], spec, stealing=False)
+    else:
+        assignment = assign_roots_to_blocks(inputs.roots, weights, blocks,
+                                            "interleave")
+        costs = [[per_root_cycles[i] for i in blk] for blk in assignment]
+        sched = simulate_blocks(costs, spec, stealing=False)
 
     return DeviceRunResult(
         algorithm="GBL",
@@ -157,13 +203,18 @@ def _predicted_seconds(signals: CostSignals) -> float:
         )
         metrics.record_slots(active=1, total=4)      # sparse warp lanes
         return kernel_seconds(metrics, signals.device)
-    enum = GBL_HOST_OVERHEAD * signals.enum_seconds(signals.merge_calls,
-                                                    signals.comparisons)
+    overhead = GBL_NATIVE_OVERHEAD if signals.backend == "native" \
+        else GBL_HOST_OVERHEAD
+    enum = overhead * signals.enum_seconds(signals.merge_calls,
+                                           signals.comparisons)
     return signals.priority_prepare_seconds() + signals.sharded(enum)
 
 
 #: fast-backend wall overhead of the device bookkeeping vs plain BCL
 GBL_HOST_OVERHEAD = 1.25
+#: native-backend overhead: frontier batching amortises the per-call
+#: bookkeeping across each level's kernel submission
+GBL_NATIVE_OVERHEAD = 1.1
 
 register_method(MethodSpec(
     name="GBL",

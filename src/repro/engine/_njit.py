@@ -1,0 +1,251 @@
+"""numba ``@njit`` kernels for the native backend's JIT tier.
+
+Importing this module requires numba (install the ``[native]`` extra);
+:mod:`repro.engine.native` imports it inside a guard and falls back to
+its pure-numpy kernels when the import fails or ``REPRO_NATIVE_JIT``
+disables the tier.  Each kernel is the compiled twin of one numpy batch
+routine: a two-pointer sorted merge over every CSR/HTB row of a
+frontier, returning flat packed results plus per-row lengths so the
+Python side can split without re-deriving anything.
+
+The kernels deliberately stick to plain loops, int64/uint64 locals and
+preallocated output buffers — the subset of numpy-in-nopython that has
+been stable across numba releases.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numba import njit
+
+__all__ = ["intersect_rows", "intersect_row_sizes",
+           "intersect_pair_rows", "intersect_pair_sizes",
+           "bitmap_rows", "bitmap_row_counts"]
+
+_M1 = np.uint64(0x5555555555555555)
+_M2 = np.uint64(0x3333333333333333)
+_M4 = np.uint64(0x0F0F0F0F0F0F0F0F)
+_H01 = np.uint64(0x0101010101010101)
+
+
+@njit(cache=True)
+def _popcount64(x):
+    """SWAR popcount of one uint64 word (no bit_count in nopython)."""
+    x = x - ((x >> np.uint64(1)) & _M1)
+    x = (x & _M2) + ((x >> np.uint64(2)) & _M2)
+    x = (x + (x >> np.uint64(4))) & _M4
+    return np.int64((x * _H01) >> np.uint64(56))
+
+
+@njit(cache=True)
+def intersect_rows(keys, offsets, values, rows):
+    """``keys ∩ row`` for every CSR row, packed flat.
+
+    Returns ``(flat, lens)``: concatenated per-row intersections and
+    the per-row result lengths.
+    """
+    n = rows.shape[0]
+    nk = keys.shape[0]
+    lens = np.zeros(n, dtype=np.int64)
+    cap = np.int64(0)
+    for i in range(n):
+        r = rows[i]
+        width = offsets[r + 1] - offsets[r]
+        cap += width if width < nk else nk
+    flat = np.empty(cap, dtype=np.int64)
+    w = np.int64(0)
+    for i in range(n):
+        r = rows[i]
+        a = np.int64(0)
+        b = offsets[r]
+        hi = offsets[r + 1]
+        start = w
+        while a < nk and b < hi:
+            ka = keys[a]
+            vb = values[b]
+            if ka == vb:
+                flat[w] = ka
+                w += 1
+                a += 1
+                b += 1
+            elif ka < vb:
+                a += 1
+            else:
+                b += 1
+        lens[i] = w - start
+    return flat[:w], lens
+
+
+@njit(cache=True)
+def intersect_row_sizes(keys, offsets, values, rows):
+    """``|keys ∩ row|`` per CSR row — the leaf kernel, no results."""
+    n = rows.shape[0]
+    nk = keys.shape[0]
+    out = np.empty(n, dtype=np.int64)
+    for i in range(n):
+        r = rows[i]
+        a = np.int64(0)
+        b = offsets[r]
+        hi = offsets[r + 1]
+        cnt = np.int64(0)
+        while a < nk and b < hi:
+            ka = keys[a]
+            vb = values[b]
+            if ka == vb:
+                cnt += 1
+                a += 1
+                b += 1
+            elif ka < vb:
+                a += 1
+            else:
+                b += 1
+        out[i] = cnt
+    return out
+
+
+@njit(cache=True)
+def intersect_pair_rows(a_off, a_val, a_ids, offsets, values, rows):
+    """``A-row(a_ids[i]) ∩ CSR-row(rows[i])`` per pair, packed flat.
+
+    The pairwise twin of :func:`intersect_rows`: the left operand is a
+    ragged frontier row instead of one shared key set.  Returns
+    ``(flat, lens)``.
+    """
+    n = rows.shape[0]
+    cap = np.int64(0)
+    for i in range(n):
+        t = a_ids[i]
+        wa = a_off[t + 1] - a_off[t]
+        r = rows[i]
+        wb = offsets[r + 1] - offsets[r]
+        cap += wa if wa < wb else wb
+    flat = np.empty(cap, dtype=np.int64)
+    lens = np.zeros(n, dtype=np.int64)
+    w = np.int64(0)
+    for i in range(n):
+        t = a_ids[i]
+        a = a_off[t]
+        ahi = a_off[t + 1]
+        r = rows[i]
+        b = offsets[r]
+        bhi = offsets[r + 1]
+        start = w
+        while a < ahi and b < bhi:
+            ka = a_val[a]
+            vb = values[b]
+            if ka == vb:
+                flat[w] = ka
+                w += 1
+                a += 1
+                b += 1
+            elif ka < vb:
+                a += 1
+            else:
+                b += 1
+        lens[i] = w - start
+    return flat[:w], lens
+
+
+@njit(cache=True)
+def intersect_pair_sizes(a_off, a_val, a_ids, offsets, values, rows):
+    """``|A-row(a_ids[i]) ∩ CSR-row(rows[i])|`` per pair."""
+    n = rows.shape[0]
+    out = np.empty(n, dtype=np.int64)
+    for i in range(n):
+        t = a_ids[i]
+        a = a_off[t]
+        ahi = a_off[t + 1]
+        r = rows[i]
+        b = offsets[r]
+        bhi = offsets[r + 1]
+        cnt = np.int64(0)
+        while a < ahi and b < bhi:
+            ka = a_val[a]
+            vb = values[b]
+            if ka == vb:
+                cnt += 1
+                a += 1
+                b += 1
+            elif ka < vb:
+                a += 1
+            else:
+                b += 1
+        out[i] = cnt
+    return out
+
+
+@njit(cache=True)
+def bitmap_rows(keys_idx, keys_val, off, idx, val, rows):
+    """Two-phase HTB intersection of one bitmap against many rows.
+
+    Returns ``(flat_idx, flat_val, words, pops)``: packed non-zero
+    result words per row, per-row word counts, and per-row popcount
+    sums (so the caller can pin each result's cardinality for free).
+    """
+    n = rows.shape[0]
+    nk = keys_idx.shape[0]
+    cap = np.int64(0)
+    for i in range(n):
+        r = rows[i]
+        width = off[r + 1] - off[r]
+        cap += width if width < nk else nk
+    flat_idx = np.empty(cap, dtype=np.int64)
+    flat_val = np.empty(cap, dtype=np.uint64)
+    words = np.zeros(n, dtype=np.int64)
+    pops = np.zeros(n, dtype=np.int64)
+    w = np.int64(0)
+    for i in range(n):
+        r = rows[i]
+        a = np.int64(0)
+        b = off[r]
+        hi = off[r + 1]
+        start = w
+        pc = np.int64(0)
+        while a < nk and b < hi:
+            ia = keys_idx[a]
+            ib = idx[b]
+            if ia == ib:
+                mask = keys_val[a] & val[b]
+                if mask != np.uint64(0):
+                    flat_idx[w] = ia
+                    flat_val[w] = mask
+                    w += 1
+                    pc += _popcount64(mask)
+                a += 1
+                b += 1
+            elif ia < ib:
+                a += 1
+            else:
+                b += 1
+        words[i] = w - start
+        pops[i] = pc
+    return flat_idx[:w], flat_val[:w], words, pops
+
+
+@njit(cache=True)
+def bitmap_row_counts(keys_idx, keys_val, off, idx, val, rows):
+    """Popcount of ``keys & row`` per HTB row — the HTB leaf kernel."""
+    n = rows.shape[0]
+    nk = keys_idx.shape[0]
+    out = np.empty(n, dtype=np.int64)
+    for i in range(n):
+        r = rows[i]
+        a = np.int64(0)
+        b = off[r]
+        hi = off[r + 1]
+        pc = np.int64(0)
+        while a < nk and b < hi:
+            ia = keys_idx[a]
+            ib = idx[b]
+            if ia == ib:
+                mask = keys_val[a] & val[b]
+                if mask != np.uint64(0):
+                    pc += _popcount64(mask)
+                a += 1
+                b += 1
+            elif ia < ib:
+                a += 1
+            else:
+                b += 1
+        out[i] = pc
+    return out

@@ -19,12 +19,24 @@ search (which sets intersect, in which order) is separated from its
 * :class:`repro.engine.parallel.ParallelBackend` — the fast kernels
   sharded over forked worker processes; counts stay bit-identical to a
   serial fast run while the root set executes in parallel.
+* :class:`repro.engine.native.NativeBackend` — the batch-kernel engine:
+  whole frontiers of intersections execute as single vectorised (or
+  numba-JIT-compiled) kernels over the flat CSR/HTB arrays.
+
+Beyond the four scalar primitives the protocol carries *batch* entry
+points (``merge_many``, ``intersect_many``/``intersect_sizes``,
+``membership_many``, ``bitmap_intersect_many``/
+``bitmap_intersect_counts``).  Their default implementations loop the
+scalar kernels with exactly the per-call arguments the counters used to
+pass, so ``sim``/``fast``/``par`` behave bit-identically to the
+pre-batch call sites; a backend that can amortise per-call dispatch
+(``native``) overrides them.
 
 Algorithms accept ``backend=`` as an instance, a registry name (``"sim"``
-/ ``"fast"`` / ``"par"``), or ``None`` (default: simulated, preserving
-the historical behaviour of every entry point).  Passing ``workers=``
-to :func:`resolve_backend` selects the parallel engine with that many
-processes.
+/ ``"fast"`` / ``"par"`` / ``"native"``), or ``None`` (default:
+simulated, preserving the historical behaviour of every entry point).
+Passing ``workers=`` to :func:`resolve_backend` selects the parallel
+engine with that many processes.
 """
 
 from __future__ import annotations
@@ -43,7 +55,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = ["KernelBackend", "BACKEND_NAMES", "get_backend", "resolve_backend"]
 
-BACKEND_NAMES = ("sim", "fast", "par")
+BACKEND_NAMES = ("sim", "fast", "par", "native")
 
 
 class KernelBackend(ABC):
@@ -99,6 +111,178 @@ class KernelBackend(ABC):
                          record_slots: bool = True) -> "BitmapSet":
         """Intersect two truncated bitmaps (the HTB path, Example 7)."""
 
+    # -- batch entry points --------------------------------------------
+    # One call per *frontier* instead of one call per candidate.  The
+    # defaults below loop the scalar primitives with exactly the
+    # arguments the historical per-candidate call sites passed (same
+    # base_word, same flag plumbing, same call count), so the simulated
+    # engine's accounting is bit-identical whether a counter batches or
+    # not.  Engines that can amortise per-call dispatch override them.
+
+    def merge_many(self, a: np.ndarray, lists: "list[np.ndarray]",
+                   comparisons: list[int] | None = None
+                   ) -> list[np.ndarray]:
+        """:meth:`merge` of ``a`` against every list in ``lists``."""
+        return [self.merge(a, b, comparisons) for b in lists]
+
+    def membership_many(self, keys: np.ndarray,
+                        lists: "list[np.ndarray]") -> list[np.ndarray]:
+        """:meth:`membership` of ``keys`` against every list."""
+        return [self.membership(keys, lst) for lst in lists]
+
+    def intersect_many(self, keys: np.ndarray, offsets: np.ndarray,
+                       values: np.ndarray, rows: np.ndarray,
+                       metrics: KernelMetrics, *,
+                       warps: int = 1,
+                       record_slots: bool = True) -> list[np.ndarray]:
+        """:meth:`intersect` of ``keys`` against many CSR rows.
+
+        ``values[offsets[r]:offsets[r+1]]`` is row ``r``'s sorted list;
+        each row's ``base_word`` is its flat offset, matching what the
+        per-candidate call sites always passed.
+        """
+        out = []
+        for r in rows:
+            r = int(r)
+            lo = int(offsets[r])
+            out.append(self.intersect(
+                keys, values[lo:int(offsets[r + 1])], metrics,
+                warps=warps, base_word=lo, record_slots=record_slots))
+        return out
+
+    def intersect_sizes(self, keys: np.ndarray, offsets: np.ndarray,
+                        values: np.ndarray, rows: np.ndarray,
+                        metrics: KernelMetrics, *,
+                        warps: int = 1,
+                        record_slots: bool = True) -> np.ndarray:
+        """``len(intersect(keys, row))`` per row — the search-leaf kernel,
+        where only intersection *sizes* feed the binomial sum."""
+        return np.asarray(
+            [len(got) for got in self.intersect_many(
+                keys, offsets, values, rows, metrics,
+                warps=warps, record_slots=record_slots)],
+            dtype=np.int64)
+
+    def bitmap_intersect_many(self, keys: "BitmapSet", htb, rows,
+                              metrics: KernelMetrics, *,
+                              warps: int = 1,
+                              keys_in_shared: bool = True,
+                              record_slots: bool = True
+                              ) -> "list[BitmapSet]":
+        """:meth:`bitmap_intersect` of ``keys`` against many HTB rows
+        (``htb`` is a :class:`repro.htb.htb.HTB`)."""
+        out = []
+        for r in rows:
+            r = int(r)
+            out.append(self.bitmap_intersect(
+                keys, htb.view(r), metrics, warps=warps,
+                base_word=htb.base_word(r),
+                keys_in_shared=keys_in_shared, record_slots=record_slots))
+        return out
+
+    def bitmap_intersect_counts(self, keys: "BitmapSet", htb, rows,
+                                metrics: KernelMetrics, *,
+                                warps: int = 1,
+                                keys_in_shared: bool = True,
+                                record_slots: bool = True) -> np.ndarray:
+        """Popcount of ``keys & htb[r]`` per row (the HTB leaf kernel)."""
+        return np.asarray(
+            [got.count() for got in self.bitmap_intersect_many(
+                keys, htb, rows, metrics, warps=warps,
+                keys_in_shared=keys_in_shared, record_slots=record_slots)],
+            dtype=np.int64)
+
+    # -- pairwise batch entry points -----------------------------------
+    # One call per *search level*: every pair couples one ragged key row
+    # (a live task's CL/CR set, delimited by ``a_off``) with one CSR or
+    # HTB row.  The frontier traversal (:mod:`repro.core.frontier`)
+    # drives engines that set ``frontier = True`` through these; the
+    # defaults loop the scalar primitives so any engine answers them.
+
+    #: whether the counting drivers should run the level-synchronous
+    #: frontier traversal on this engine instead of the per-root
+    #: recursion (counts are identical either way)
+    frontier: bool = False
+
+    def intersect_pairs(self, a_off: np.ndarray, a_val: np.ndarray,
+                        a_ids: np.ndarray, offsets: np.ndarray,
+                        values: np.ndarray, rows: np.ndarray,
+                        metrics: KernelMetrics, *,
+                        warps: int = 1, record_slots: bool = True
+                        ) -> tuple[np.ndarray, np.ndarray]:
+        """Pair ``i``: intersect ragged row ``a_ids[i]`` of ``(a_off,
+        a_val)`` with CSR row ``rows[i]``.  Returns the results as one
+        ragged ``(out_off, out_val)`` pair."""
+        outs = []
+        for a_id, r in zip(a_ids, rows):
+            lo = int(offsets[int(r)])
+            outs.append(self.intersect(
+                a_val[int(a_off[int(a_id)]):int(a_off[int(a_id) + 1])],
+                values[lo:int(offsets[int(r) + 1])], metrics,
+                warps=warps, base_word=lo, record_slots=record_slots))
+        lens = np.asarray([len(got) for got in outs], dtype=np.int64)
+        off = np.zeros(len(outs) + 1, dtype=np.int64)
+        np.cumsum(lens, out=off[1:])
+        flat = (np.concatenate(outs) if outs and int(off[-1])
+                else np.empty(0, dtype=np.int64))
+        return off, flat
+
+    def intersect_pairs_sizes(self, a_off: np.ndarray, a_val: np.ndarray,
+                              a_ids: np.ndarray, offsets: np.ndarray,
+                              values: np.ndarray, rows: np.ndarray,
+                              metrics: KernelMetrics, *,
+                              warps: int = 1,
+                              record_slots: bool = True) -> np.ndarray:
+        """Size of each pair's intersection — the frontier leaf kernel."""
+        off, _ = self.intersect_pairs(a_off, a_val, a_ids, offsets,
+                                      values, rows, metrics, warps=warps,
+                                      record_slots=record_slots)
+        return np.diff(off)
+
+    def bitmap_pairs(self, a_off: np.ndarray, a_idx: np.ndarray,
+                     a_val: np.ndarray, a_ids: np.ndarray, htb,
+                     rows: np.ndarray, metrics: KernelMetrics, *,
+                     warps: int = 1, keys_in_shared: bool = True,
+                     record_slots: bool = True):
+        """Pair ``i``: AND ragged truncated bitmap ``a_ids[i]`` of
+        ``(a_off, a_idx, a_val)`` with HTB row ``rows[i]``.  Returns
+        ``(out_off, out_idx, out_val, counts)`` — the result bitmaps as
+        one ragged word array plus each pair's popcount."""
+        from repro.htb.htb import BitmapSet
+
+        idx_parts, val_parts, lens, counts = [], [], [], []
+        for a_id, r in zip(a_ids, rows):
+            lo, hi = int(a_off[int(a_id)]), int(a_off[int(a_id) + 1])
+            got = self.bitmap_intersect(
+                BitmapSet(a_idx[lo:hi], a_val[lo:hi]),
+                htb.view(int(r)), metrics, warps=warps,
+                base_word=htb.base_word(int(r)),
+                keys_in_shared=keys_in_shared, record_slots=record_slots)
+            idx_parts.append(got.idx)
+            val_parts.append(got.val)
+            lens.append(len(got.idx))
+            counts.append(got.count())
+        off = np.zeros(len(lens) + 1, dtype=np.int64)
+        np.cumsum(np.asarray(lens, dtype=np.int64), out=off[1:])
+        if idx_parts and int(off[-1]):
+            flat_idx = np.concatenate(idx_parts)
+            flat_val = np.concatenate(val_parts)
+        else:
+            flat_idx = np.empty(0, dtype=np.int64)
+            flat_val = np.empty(0, dtype=np.uint64)
+        return off, flat_idx, flat_val, np.asarray(counts, dtype=np.int64)
+
+    def bitmap_pairs_counts(self, a_off: np.ndarray, a_idx: np.ndarray,
+                            a_val: np.ndarray, a_ids: np.ndarray, htb,
+                            rows: np.ndarray, metrics: KernelMetrics, *,
+                            warps: int = 1, keys_in_shared: bool = True,
+                            record_slots: bool = True) -> np.ndarray:
+        """Popcount of each pair's AND — the frontier HTB leaf kernel."""
+        return self.bitmap_pairs(a_off, a_idx, a_val, a_ids, htb, rows,
+                                 metrics, warps=warps,
+                                 keys_in_shared=keys_in_shared,
+                                 record_slots=record_slots)[3]
+
     # -- instrumentation sink ------------------------------------------
     def new_metrics(self) -> KernelMetrics:
         """A fresh per-kernel metrics accumulator."""
@@ -118,7 +302,8 @@ class KernelBackend(ABC):
 
 def get_backend(name: str, spec: "DeviceSpec | None" = None,
                 workers: int | None = None) -> KernelBackend:
-    """Construct a backend by registry name (``"sim"``/``"fast"``/``"par"``).
+    """Construct a backend by registry name
+    (``"sim"``/``"fast"``/``"par"``/``"native"``).
 
     ``workers`` applies to the parallel engine only (``None`` lets it
     default to the usable CPU count).
@@ -133,6 +318,10 @@ def get_backend(name: str, spec: "DeviceSpec | None" = None,
         return FastBackend()
     if name == "par":
         return ParallelBackend(workers)
+    if name == "native":
+        from repro.engine.native import NativeBackend
+
+        return NativeBackend()
     raise QueryError(f"unknown kernel backend {name!r}; "
                      f"expected one of {BACKEND_NAMES}")
 

@@ -1,0 +1,55 @@
+"""Vectorised multi-row gathers over CSR arrays.
+
+Every flat structure in the repo — bipartite adjacency, two-hop
+indexes, wedge multisets, HTB word arrays — is CSR-shaped: an
+``offsets`` array delimiting per-vertex rows inside one flat ``values``
+array.  The batch kernels (:meth:`repro.engine.base.KernelBackend
+.intersect_many` and friends) and the wedge enumeration pass all need
+the same primitive: *concatenate many rows without a Python-level loop*.
+
+:func:`row_positions` builds the flat source index of that
+concatenation with three vectorised ops (the classic repeat/arange
+trick), so a whole frontier of adjacency rows gathers as one numpy
+fancy-index instead of ``len(rows)`` slice-and-concatenate calls.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["row_lengths", "row_positions", "gather_rows"]
+
+
+def row_lengths(offsets: np.ndarray, rows: np.ndarray) -> np.ndarray:
+    """``len(row)`` for every selected row, as int64."""
+    rows = np.asarray(rows, dtype=np.int64)
+    return (offsets[rows + 1] - offsets[rows]).astype(np.int64, copy=False)
+
+
+def row_positions(offsets: np.ndarray,
+                  rows: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Flat indices that concatenate the selected rows, plus row lengths.
+
+    ``values[pos]`` equals ``np.concatenate([values[offsets[r]:
+    offsets[r+1]] for r in rows])`` — with empty rows contributing
+    nothing — but costs one ``repeat`` and one ``arange`` however many
+    rows are selected.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    starts = offsets[rows].astype(np.int64, copy=False)
+    lens = (offsets[rows + 1] - starts).astype(np.int64, copy=False)
+    total = int(lens.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64), lens
+    ends = np.cumsum(lens)
+    pos = np.arange(total, dtype=np.int64)
+    # shift each row's span from output coordinates to source coordinates
+    pos += np.repeat(starts - (ends - lens), lens)
+    return pos, lens
+
+
+def gather_rows(values: np.ndarray, offsets: np.ndarray,
+                rows: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """The selected rows concatenated flat, plus per-row lengths."""
+    pos, lens = row_positions(offsets, rows)
+    return values[pos], lens

@@ -15,9 +15,20 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.graph.bipartite import BipartiteGraph
+from repro.graph.csr import gather_rows
 
 __all__ = ["two_hop_multiset", "n2k", "TwoHopIndex", "build_two_hop_index",
            "WedgeIndex", "build_wedge_index"]
+
+
+def _layer_csr(graph: BipartiteGraph, layer: str):
+    """(own offsets, own neighbors, opposite offsets, opposite neighbors)."""
+    from repro.graph.bipartite import LAYER_U
+    if layer == LAYER_U:
+        return (graph.u_offsets, graph.u_neighbors,
+                graph.v_offsets, graph.v_neighbors)
+    return (graph.v_offsets, graph.v_neighbors,
+            graph.u_offsets, graph.u_neighbors)
 
 
 def two_hop_multiset(graph: BipartiteGraph, layer: str, vertex: int):
@@ -31,13 +42,8 @@ def two_hop_multiset(graph: BipartiteGraph, layer: str, vertex: int):
     mids = graph.neighbors(layer, vertex)
     if len(mids) == 0:
         return (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
-    from repro.graph.bipartite import LAYER_U
-    if layer == LAYER_U:
-        offs, nbrs = graph.v_offsets, graph.v_neighbors
-    else:
-        offs, nbrs = graph.u_offsets, graph.u_neighbors
-    hops = np.concatenate([nbrs[offs[m]:offs[m + 1]]
-                           for m in mids.tolist()])
+    _, _, offs, nbrs = _layer_csr(graph, layer)
+    hops, _ = gather_rows(nbrs, offs, mids)
     verts, vals = np.unique(hops, return_counts=True)
     pos = int(np.searchsorted(verts, vertex))
     if pos < len(verts) and verts[pos] == vertex:
@@ -142,24 +148,67 @@ class WedgeIndex:
                            neighbors=self.neighbors[keep])
 
 
+#: wedge budget per vectorised batch of build_wedge_index — bounds the
+#: transient (hop, root) key arrays to a few hundred MB at int64 width
+_WEDGE_CHUNK = 1 << 22
+
+
 def build_wedge_index(graph: BipartiteGraph, layer: str) -> WedgeIndex:
     """One wedge-enumeration pass over ``layer``: the full 2-hop multiset.
 
     This is the expensive part of host-side preprocessing; everything
     downstream (priority order, N2^k for any k) filters its output.
+    Whole batches of roots are processed per numpy pass: one gather of
+    every root's 2-hop endpoints, then a single ``unique`` over combined
+    ``root * n + hop`` keys, whose sort order (root-major, hop-minor)
+    directly yields the per-root sorted multiset rows.  Batches are cut
+    so the transient wedge arrays stay within ``_WEDGE_CHUNK`` entries.
     """
     n = graph.layer_size(layer)
+    own_off, mids, opp_off, opp_nbrs = _layer_csr(graph, layer)
+    own_off = np.asarray(own_off, dtype=np.int64)
+    hop_deg = (opp_off[mids + 1] - opp_off[mids]).astype(np.int64,
+                                                         copy=False)
+    csum = np.zeros(len(mids) + 1, dtype=np.int64)
+    np.cumsum(hop_deg, out=csum[1:])
+    wedges_per_root = csum[own_off[1:]] - csum[own_off[:-1]]
+
+    starts = [0]
+    acc = 0
+    for u, w in enumerate(wedges_per_root.tolist()):
+        if acc and acc + w > _WEDGE_CHUNK:
+            starts.append(u)
+            acc = 0
+        acc += w
+    starts.append(n)
+
+    vert_parts: list[np.ndarray] = []
+    count_parts: list[np.ndarray] = []
+    per_root = np.zeros(n, dtype=np.int64)
+    for a, b in zip(starts[:-1], starts[1:]):
+        e0, e1 = int(own_off[a]), int(own_off[b])
+        if e0 == e1:
+            continue
+        edge_roots = np.repeat(np.arange(a, b, dtype=np.int64),
+                               np.diff(own_off[a:b + 1]))
+        hops, _ = gather_rows(opp_nbrs, opp_off, mids[e0:e1])
+        if len(hops) == 0:
+            continue
+        hop_roots = np.repeat(edge_roots, hop_deg[e0:e1])
+        uniq, cnts = np.unique(hop_roots * n + hops, return_counts=True)
+        roots_of = uniq // n
+        verts = uniq - roots_of * n
+        keep = verts != roots_of          # a root is not its own 2-hop
+        roots_of, verts = roots_of[keep], verts[keep]
+        vert_parts.append(verts)
+        count_parts.append(cnts[keep].astype(np.int64, copy=False))
+        per_root += np.bincount(roots_of, minlength=n)
+
     offsets = np.zeros(n + 1, dtype=np.int64)
-    vert_rows: list[np.ndarray] = []
-    count_rows: list[np.ndarray] = []
-    for u in range(n):
-        verts, counts = two_hop_multiset(graph, layer, u)
-        offsets[u + 1] = offsets[u] + len(verts)
-        vert_rows.append(verts)
-        count_rows.append(counts)
+    np.cumsum(per_root, out=offsets[1:])
     if offsets[-1]:
-        neighbors = np.concatenate(vert_rows)
-        counts = np.concatenate(count_rows)
+        neighbors = np.concatenate(vert_parts)
+        counts = np.concatenate(count_parts)
     else:
         neighbors = np.empty(0, dtype=np.int64)
         counts = np.empty(0, dtype=np.int64)
@@ -176,17 +225,9 @@ def build_two_hop_index(graph: BipartiteGraph, layer: str, k: int,
     *lower* priority (larger rank) are stored.  This is the paper's trick
     for avoiding duplicate bicliques and halving index memory (§III-B:
     "neighbors with lower priority are not stored").
+
+    One vectorised wedge pass plus the threshold/rank filter — the same
+    arrays a :class:`WedgeIndex` produces, built the same way.
     """
-    n = graph.layer_size(layer)
-    rows: list[np.ndarray] = []
-    for u in range(n):
-        lst = n2k(graph, layer, u, k)
-        if min_priority_rank is not None and len(lst):
-            lst = lst[min_priority_rank[lst] > min_priority_rank[u]]
-        rows.append(lst)
-    offsets = np.zeros(n + 1, dtype=np.int64)
-    for u, row in enumerate(rows):
-        offsets[u + 1] = offsets[u] + len(row)
-    neighbors = (np.concatenate(rows) if offsets[-1] else
-                 np.empty(0, dtype=np.int64))
-    return TwoHopIndex(layer=layer, k=k, offsets=offsets, neighbors=neighbors)
+    return build_wedge_index(graph, layer).two_hop_index(
+        k, min_priority_rank=min_priority_rank)

@@ -21,7 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.graph.bipartite import BipartiteGraph
+from repro.graph.bipartite import BipartiteGraph, LAYER_U
 from repro.graph.twohop import TwoHopIndex
 from repro.gpu.device import DeviceSpec
 from repro.gpu.intersect import _lockstep_binary_search
@@ -30,7 +30,8 @@ from repro.gpu.metrics import KernelMetrics
 from repro.gpu.simt import record_work
 from repro.htb.bitmap import WORD_BITS, and_aligned, cardinality, decode, encode, popcount
 
-__all__ = ["HTB", "build_htb_from_rows", "htb_from_graph", "htb_from_two_hop",
+__all__ = ["HTB", "build_htb_from_csr", "build_htb_from_rows",
+           "htb_from_graph", "htb_from_two_hop",
            "intersect_device", "intersect_exact", "BitmapSet"]
 
 
@@ -130,36 +131,60 @@ class HTB:
         return cardinality(self.val) / len(self.val)
 
 
+def build_htb_from_csr(offsets: np.ndarray, values: np.ndarray,
+                       word_bits: int = WORD_BITS) -> HTB:
+    """Build an HTB from a whole CSR layer in one vectorised pass.
+
+    Combined ``row * span + word`` keys let a single ``unique`` find the
+    non-zero words of every row at once (sorted row-major, exactly the
+    order per-row :func:`repro.htb.bitmap.encode` calls would emit), and
+    one ``bitwise_or.at`` scatter ORs all neighbour bits into them.
+    """
+    offsets = np.asarray(offsets, dtype=np.int64)
+    n = len(offsets) - 1
+    values = np.asarray(values, dtype=np.int64)
+    if len(values) == 0:
+        return HTB(off=np.zeros(n + 1, dtype=np.int64),
+                   idx=np.empty(0, dtype=np.int64),
+                   val=np.empty(0, dtype=np.uint64), word_bits=word_bits)
+    rows = np.repeat(np.arange(n, dtype=np.int64), np.diff(offsets))
+    words = values // word_bits
+    bits = (values % word_bits).astype(np.uint64)
+    span = int(words.max()) + 1
+    uniq, inverse = np.unique(rows * span + words, return_inverse=True)
+    val = np.zeros(len(uniq), dtype=np.uint64)
+    np.bitwise_or.at(val, inverse, np.uint64(1) << bits)
+    word_rows = uniq // span
+    off = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(np.bincount(word_rows, minlength=n), out=off[1:])
+    return HTB(off=off, idx=uniq - word_rows * span, val=val,
+               word_bits=word_bits)
+
+
 def build_htb_from_rows(rows: list[np.ndarray],
                         word_bits: int = WORD_BITS) -> HTB:
     """Build an HTB from per-vertex sorted neighbour lists."""
+    lens = np.fromiter((len(r) for r in rows), dtype=np.int64,
+                       count=len(rows))
     off = np.zeros(len(rows) + 1, dtype=np.int64)
-    idx_parts: list[np.ndarray] = []
-    val_parts: list[np.ndarray] = []
-    for i, row in enumerate(rows):
-        idx, val = encode(row, word_bits)
-        off[i + 1] = off[i] + len(idx)
-        idx_parts.append(idx)
-        val_parts.append(val)
-    idx = np.concatenate(idx_parts) if len(rows) and off[-1] else \
-        np.empty(0, dtype=np.int64)
-    val = np.concatenate(val_parts) if len(rows) and off[-1] else \
-        np.empty(0, dtype=np.uint64)
-    return HTB(off=off, idx=idx, val=val, word_bits=word_bits)
+    np.cumsum(lens, out=off[1:])
+    values = (np.concatenate([np.asarray(r, dtype=np.int64) for r in rows])
+              if off[-1] else np.empty(0, dtype=np.int64))
+    return build_htb_from_csr(off, values, word_bits)
 
 
 def htb_from_graph(graph: BipartiteGraph, layer: str,
                    word_bits: int = WORD_BITS) -> HTB:
     """HTB over the 1-hop adjacency lists of ``layer``."""
-    rows = [graph.neighbors(layer, u)
-            for u in range(graph.layer_size(layer))]
-    return build_htb_from_rows(rows, word_bits)
+    if layer == LAYER_U:
+        return build_htb_from_csr(graph.u_offsets, graph.u_neighbors,
+                                  word_bits)
+    return build_htb_from_csr(graph.v_offsets, graph.v_neighbors, word_bits)
 
 
 def htb_from_two_hop(index: TwoHopIndex, word_bits: int = WORD_BITS) -> HTB:
     """HTB over precomputed N2^k lists."""
-    rows = [index.of(u) for u in range(index.num_vertices)]
-    return build_htb_from_rows(rows, word_bits)
+    return build_htb_from_csr(index.offsets, index.neighbors, word_bits)
 
 
 def intersect_device(keys: BitmapSet, lst: BitmapSet,

@@ -52,7 +52,8 @@ def explicit_plan(graph, query, method: str, *,
     return CountPlan(
         method=method, p=query.p, q=query.q,
         backend=backend_name, workers=workers, layer=layer,
-        prepared=prepared_keys(mspec, graph, query, layer),
+        prepared=prepared_keys(mspec, graph, query, layer,
+                               backend=backend_name),
         source="explicit",
         reason=f"explicitly requested {method}",
     )
@@ -112,6 +113,8 @@ def warm_session(session, plan: CountPlan) -> None:
             session.id_order_index(k)
         elif kind == "htb":
             session.htb_pair(layer, k)
+        elif kind == "native":
+            session.native_pack(layer, k)
         else:
             raise PlanError(f"unknown prepared-state kind in plan "
                             f"requirement {key!r}")

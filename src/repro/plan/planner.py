@@ -28,19 +28,27 @@ ranked plans, the same chosen plan, run after run.
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 from repro.engine.base import BACKEND_NAMES, KernelBackend
 from repro.errors import PlanError, QueryError
 from repro.graph.bipartite import LAYER_U, LAYER_V
 from repro.graph.priority import select_layer, wedge_mass
-from repro.graph.stats import compute_stats
+from repro.graph.stats import cached_stats, graph_fingerprint
 from repro.plan.ir import CountPlan
-from repro.plan.registry import CostSignals, MethodSpec, auto_candidates
+from repro.plan.registry import (
+    CostSignals,
+    MethodSpec,
+    auto_backends,
+    auto_candidates,
+)
 
 __all__ = ["Planner", "prepared_keys"]
 
 
 def prepared_keys(mspec: MethodSpec, graph, query,
-                  layer: str | None = None) -> tuple[str, ...]:
+                  layer: str | None = None,
+                  backend: str | None = None) -> tuple[str, ...]:
     """The session-state keys a method needs for one query.
 
     Keys are ``kind:layer[:k]`` strings a
@@ -49,6 +57,8 @@ def prepared_keys(mspec: MethodSpec, graph, query,
     effective two-hop depth ``k`` are resolved exactly as the counter
     will resolve them, so warming a plan's requirements is equivalent to
     letting the counter build lazily — just observable and timeable.
+    Device-model methods running on the ``native`` engine additionally
+    require that engine's repacked CSR arrays (``native:<layer>:<k>``).
     """
     if not mspec.supports_layer:        # Basic: always anchored on U
         anchored, k = LAYER_U, query.q
@@ -61,7 +71,31 @@ def prepared_keys(mspec: MethodSpec, graph, query,
             keys.append(f"wedges:{anchored}")
         else:
             keys.append(f"{kind}:{anchored}:{k}")
+    if backend == "native" and mspec.device_model:
+        keys.append(f"native:{anchored}:{k}")
     return tuple(keys)
+
+
+#: fingerprint-keyed caches of per-graph planning signals, so repeated
+#: sessionless ``plan()`` calls over one graph pay the wedge-mass scan
+#: and the root-sampling probe once (sessions get the same effect from
+#: their per-shape plan cache, and their probes double as state warmers,
+#: so they bypass the probe cache on purpose)
+_WEDGE_MASS_CACHE: OrderedDict[tuple, float] = OrderedDict()
+_PROBE_CACHE: OrderedDict[tuple, object] = OrderedDict()
+_SIGNAL_CACHE_SIZE = 128
+
+
+def _cache_get(cache: OrderedDict, key: tuple, build):
+    got = cache.get(key)
+    if got is None:
+        got = build()
+        cache[key] = got
+        while len(cache) > _SIGNAL_CACHE_SIZE:
+            cache.popitem(last=False)
+    else:
+        cache.move_to_end(key)
+    return got
 
 
 def _backend_name(backend, workers: int | None) -> str | None:
@@ -111,13 +145,24 @@ class Planner:
         self.seed = int(seed)
         self.threads = int(threads)
         self._stats = None
+        self._fp: str | None = None
         self._probes: dict[tuple, object] = {}
 
     # -- signal gathering ----------------------------------------------
+    def _fingerprint(self) -> str:
+        if self._fp is None:
+            self._fp = self.session.fingerprint if self.session is not None \
+                else graph_fingerprint(self.graph)
+        return self._fp
+
     def _graph_stats(self):
         if self._stats is None:
-            self._stats = compute_stats(self.graph)
+            self._stats = cached_stats(self.graph)
         return self._stats
+
+    def _wedge_mass(self, layer: str) -> float:
+        return _cache_get(_WEDGE_MASS_CACHE, (self._fingerprint(), layer),
+                          lambda: float(wedge_mass(self.graph, layer)))
 
     def _probe(self, query, layer: str | None):
         from repro.core.estimate import sample_root_profile
@@ -125,9 +170,22 @@ class Planner:
         key = (query.p, query.q, layer)
         got = self._probes.get(key)
         if got is None:
-            got = sample_root_profile(self.graph, query,
-                                      samples=self.samples, seed=self.seed,
-                                      layer=layer, session=self.session)
+            def build():
+                return sample_root_profile(
+                    self.graph, query, samples=self.samples,
+                    seed=self.seed, layer=layer, session=self.session)
+            if self.session is None:
+                # probe results depend only on graph content + shape +
+                # probe settings, so sessionless planners share them
+                got = _cache_get(
+                    _PROBE_CACHE,
+                    (self._fingerprint(), query.p, query.q, layer,
+                     self.samples, self.seed),
+                    build)
+            else:
+                # session probes intentionally run: they warm the
+                # session's prepared state as a side effect
+                got = build()
             self._probes[key] = got
         return got
 
@@ -160,8 +218,8 @@ class Planner:
             # the anchored prepare enumerates wedges through the layer
             # opposite the anchor; Basic's id build always walks the
             # original orientation's V side
-            wedge_ops=float(wedge_mass(self.graph, opposite)),
-            wedge_ops_id=float(wedge_mass(self.graph, LAYER_V)),
+            wedge_ops=self._wedge_mass(opposite),
+            wedge_ops_id=self._wedge_mass(LAYER_V),
             population=probe.population,
             basic_population=probe.basic_population,
             comparisons=probe.comparisons,
@@ -180,55 +238,67 @@ class Planner:
              layer: str | None = None) -> list[CountPlan]:
         """Every eligible candidate plan, cheapest predicted first.
 
-        ``backend=None`` leaves the engine to the planner (it prices
-        candidates on the uninstrumented ``fast`` engine — ``auto``
-        means "fastest", and instrumentation is something a caller asks
-        for explicitly); naming a backend ranks the methods *under* that
-        engine, which changes the winners — on ``sim`` the headline is
-        simulated device seconds, so the device methods dominate.
+        ``backend=None`` leaves the engine to the planner: it prices
+        every method on the uninstrumented ``fast`` engine *and* on
+        each auto-registered engine (the ``native`` batch-kernel
+        backend registers a :class:`~repro.plan.registry
+        .BackendCostModel` with ``auto=True``), so ``auto`` means
+        "fastest", whichever engine that takes — instrumentation is
+        something a caller asks for explicitly.  Naming a backend ranks
+        the methods *under* that engine, which changes the winners —
+        on ``sim`` the headline is simulated device seconds, so the
+        device methods dominate.
         """
         pinned = _backend_name(backend, workers)
-        engine_name = pinned or "fast"
-        if engine_name == "sim" and workers is not None:
+        if pinned == "sim" and workers is not None:
             raise QueryError("workers= requires the parallel engine; the "
                              "simulated engine's accounting is serial")
-        signals = self.signals(query, backend=engine_name,
-                               workers=workers, layer=layer)
-        plans: list[CountPlan] = []
-        for position, mspec in enumerate(auto_candidates()):
-            if engine_name == "par" and not mspec.supports_partitioned:
-                continue
-            if layer is not None and not mspec.supports_layer:
-                continue
-            predicted = float(mspec.cost(signals))
-            plans.append((predicted, position, CountPlan(
-                method=mspec.name, p=query.p, q=query.q,
-                backend=engine_name, workers=workers, layer=layer,
-                prepared=prepared_keys(mspec, self.graph, query, layer),
-                predicted_seconds=predicted,
-                source="auto",
-                reason=(f"predicted {predicted:.3g}s on {engine_name} "
-                        f"from a {self.samples}-root probe "
-                        f"(seed {self.seed})"),
-                signals={
-                    "population": signals.population,
-                    "basic_population": signals.basic_population,
-                    "comparisons": signals.comparisons,
-                    "basic_comparisons": signals.basic_comparisons,
-                    "mean_index_size": signals.mean_index_size,
-                    "est_count": signals.est_count,
-                    "wedge_ops": signals.wedge_ops,
-                    "degree_skew": signals.degree_skew,
-                    "anchored_layer": signals.anchored_layer,
-                },
-            )))
+        engine_names = auto_backends() if pinned is None else (pinned,)
+        plans: list[tuple] = []
+        for eng_pos, engine_name in enumerate(engine_names):
+            signals = self.signals(query, backend=engine_name,
+                                   workers=workers, layer=layer)
+            for position, mspec in enumerate(auto_candidates()):
+                if engine_name == "par" and not mspec.supports_partitioned:
+                    continue
+                if engine_name == "native" and not mspec.device_model:
+                    # only the frontier-batched device counters run
+                    # their hot loops through the batch kernels; the
+                    # host baselines would be priced with a speedup
+                    # they cannot realise
+                    continue
+                if layer is not None and not mspec.supports_layer:
+                    continue
+                predicted = float(mspec.cost(signals))
+                plans.append((predicted, eng_pos, position, CountPlan(
+                    method=mspec.name, p=query.p, q=query.q,
+                    backend=engine_name, workers=workers, layer=layer,
+                    prepared=prepared_keys(mspec, self.graph, query,
+                                           layer, backend=engine_name),
+                    predicted_seconds=predicted,
+                    source="auto",
+                    reason=(f"predicted {predicted:.3g}s on {engine_name} "
+                            f"from a {self.samples}-root probe "
+                            f"(seed {self.seed})"),
+                    signals={
+                        "population": signals.population,
+                        "basic_population": signals.basic_population,
+                        "comparisons": signals.comparisons,
+                        "basic_comparisons": signals.basic_comparisons,
+                        "mean_index_size": signals.mean_index_size,
+                        "est_count": signals.est_count,
+                        "wedge_ops": signals.wedge_ops,
+                        "degree_skew": signals.degree_skew,
+                        "anchored_layer": signals.anchored_layer,
+                    },
+                )))
         if not plans:
             raise PlanError(f"no registered method can run on backend "
-                            f"{engine_name!r}")
-        # ties break on registration order, keeping the ranking total
-        # and deterministic
-        plans.sort(key=lambda item: (item[0], item[1]))
-        return [plan for _, _, plan in plans]
+                            f"{engine_names[0]!r}")
+        # ties break on engine position (fast first), then registration
+        # order, keeping the ranking total and deterministic
+        plans.sort(key=lambda item: (item[0], item[1], item[2]))
+        return [plan for _, _, _, plan in plans]
 
     def plan(self, query, backend=None, workers: int | None = None,
              layer: str | None = None) -> CountPlan:

@@ -27,11 +27,15 @@ from repro.errors import UnknownMethodError
 
 __all__ = [
     "AUTO",
+    "BackendCostModel",
     "CostSignals",
     "MethodSpec",
+    "auto_backends",
+    "backend_cost",
     "ensure_known",
     "get_method",
     "method_names",
+    "register_backend_cost",
     "register_method",
 ]
 
@@ -76,6 +80,55 @@ SECONDS_PER_ROOT_PROFILED = 2.0e-6
 SIM_INSTRUMENT_FACTOR = 30.0
 #: flat cost of forking the par worker pool
 FORK_SECONDS = 0.08
+
+
+@dataclass(frozen=True)
+class BackendCostModel:
+    """Per-engine calibration of the enumeration cost model.
+
+    An execution engine whose kernels amortise per-call dispatch (the
+    batch-kernel ``native`` backend) registers one of these so the cost
+    hooks price counted work with *its* constants instead of the
+    ``fast`` defaults above.  ``auto=True`` additionally nominates the
+    engine as a candidate when the planner is free to choose the
+    backend (``backend=None``): the planner then ranks every method
+    under every nominated engine and picks the overall winner.
+    """
+
+    #: engine registry name ("native", ...)
+    name: str
+    seconds_per_merge_call: float = SECONDS_PER_MERGE_CALL
+    seconds_per_comparison: float = SECONDS_PER_COMPARISON
+    #: eligible for planner backend selection when none is pinned
+    auto: bool = False
+
+
+_BACKEND_COSTS: dict[str, BackendCostModel] = {}
+
+
+def register_backend_cost(model: BackendCostModel,
+                          replace: bool = False) -> BackendCostModel:
+    """Register an engine's cost model under its name (idempotent for
+    identical models, like :func:`register_method`)."""
+    if not replace and model.name in _BACKEND_COSTS \
+            and _BACKEND_COSTS[model.name] != model:
+        raise ValueError(f"backend cost model {model.name!r} is already "
+                         f"registered; pass replace=True to override")
+    _BACKEND_COSTS[model.name] = model
+    return model
+
+
+def backend_cost(name: str) -> BackendCostModel | None:
+    """The cost model registered for engine ``name`` (None = defaults)."""
+    return _BACKEND_COSTS.get(name)
+
+
+def auto_backends() -> tuple[str, ...]:
+    """Engines the planner may choose between when no backend is pinned:
+    the ``fast`` default plus every registered ``auto`` cost model."""
+    _ensure_registered()
+    return ("fast",) + tuple(sorted(
+        name for name, model in _BACKEND_COSTS.items() if model.auto))
 
 
 @dataclass(frozen=True)
@@ -139,9 +192,20 @@ class CostSignals:
                    + self.wedge_ops_id * ID_PREP_WEDGE)
 
     def enum_seconds(self, merge_calls: float, comparisons: float) -> float:
-        """Predicted serial enumeration cost for counted work."""
-        seconds = (merge_calls * SECONDS_PER_MERGE_CALL
-                   + comparisons * SECONDS_PER_COMPARISON)
+        """Predicted serial enumeration cost for counted work.
+
+        Priced with the engine's registered
+        :class:`BackendCostModel` when one exists (the batch-kernel
+        ``native`` engine amortises per-call dispatch, so its per-call
+        constant is far below the ``fast`` default); unregistered
+        engines use the fitted ``fast`` constants.
+        """
+        model = backend_cost(self.backend)
+        call_s = model.seconds_per_merge_call if model is not None \
+            else SECONDS_PER_MERGE_CALL
+        cmp_s = model.seconds_per_comparison if model is not None \
+            else SECONDS_PER_COMPARISON
+        seconds = merge_calls * call_s + comparisons * cmp_s
         if self.backend == "sim":
             seconds *= SIM_INSTRUMENT_FACTOR
         return seconds
@@ -202,7 +266,11 @@ class MethodSpec:
 
 _REGISTRY: dict[str, MethodSpec] = {}
 _CORE_MODULES = ("repro.core.basic", "repro.core.bcl", "repro.core.bclp",
-                 "repro.core.gbl", "repro.core.gbc")
+                 "repro.core.gbl", "repro.core.gbc",
+                 # the native engine registers its BackendCostModel (and
+                 # thereby its planner eligibility) at import time, the
+                 # same self-registration pattern the counters use
+                 "repro.engine.native")
 
 
 def register_method(spec: MethodSpec, replace: bool = False) -> MethodSpec:

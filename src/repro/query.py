@@ -45,7 +45,6 @@ A session persists across batches, so a repeated query is a cache hit:
 
 from __future__ import annotations
 
-import hashlib
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -60,28 +59,13 @@ from repro.errors import QueryError
 from repro.gpu.device import rtx_3090
 from repro.graph.bipartite import BipartiteGraph, LAYER_U, LAYER_V
 from repro.graph.priority import priority_order_from_sizes, rank_from_order
+from repro.graph.stats import graph_fingerprint
 from repro.graph.twohop import TwoHopIndex, WedgeIndex, build_wedge_index
 from repro.htb.htb import HTB, htb_from_graph, htb_from_two_hop
 from repro.plan import AUTO, CountPlan, Planner, execute_plan, explicit_plan
 
 __all__ = ["GraphSession", "SessionStats", "ResultCache", "BatchResult",
            "batch_count", "parse_queries", "graph_fingerprint"]
-
-
-def graph_fingerprint(graph: BipartiteGraph) -> str:
-    """A content hash of the graph's CSR arrays (layer sizes + edges).
-
-    Two structurally identical graphs fingerprint identically whatever
-    their ``name``; any edge difference — including in-place mutation
-    of the underlying arrays — changes the digest.  This is the cache
-    key component that ties cached counts to graph *content*.
-    """
-    h = hashlib.blake2b(digest_size=16)
-    h.update(np.asarray([graph.num_u, graph.num_v], dtype=np.int64).tobytes())
-    for arr in (graph.u_offsets, graph.u_neighbors,
-                graph.v_offsets, graph.v_neighbors):
-        h.update(np.ascontiguousarray(arr, dtype=np.int64).tobytes())
-    return h.hexdigest()
 
 
 def parse_queries(queries) -> list[BicliqueQuery]:
@@ -155,6 +139,7 @@ class SessionStats:
     index_builds: int = 0      #: N2^k two-hop indexes materialised
     htb_adj_builds: int = 0    #: HTBs over 1-hop adjacency (per layer)
     htb_two_hop_builds: int = 0  #: HTBs over N2^k lists (per layer, k)
+    native_pack_builds: int = 0  #: native-backend CSR packs (per layer, k)
     prepare_calls: int = 0     #: device-input preparations served
 
     def as_dict(self) -> dict[str, int]:
@@ -263,6 +248,7 @@ class GraphSession:
         self._indexes: dict[tuple, TwoHopIndex] = {}
         self._htb_adj: dict[str, HTB] = {}
         self._htb_two_hop: dict[tuple, HTB] = {}
+        self._native_packs: dict[tuple, object] = {}
         self._plans: dict[tuple, CountPlan] = {}
         self._planner: Planner | None = None
 
@@ -374,6 +360,24 @@ class GraphSession:
                 self._htb_two_hop[key] = htb2
             return htb1, htb2
 
+    def native_pack(self, layer: str, k: int):
+        """The native backend's contiguous CSR pack for (``layer``, ``k``)
+        — the anchored adjacency plus the rank-filtered N2^k index,
+        repacked once per (layer, k) and shared by every native-engine
+        count (the ``native:<layer>:<k>`` plan requirement)."""
+        with self._lock:
+            key = (layer, int(k))
+            got = self._native_packs.get(key)
+            if got is None:
+                from repro.engine.native import build_native_pack
+
+                self.stats.native_pack_builds += 1
+                got = build_native_pack(self.anchored(layer),
+                                        self.two_hop_index(layer, k),
+                                        layer, k)
+                self._native_packs[key] = got
+            return got
+
     def prepared(self, query: BicliqueQuery, layer: str | None = None):
         """The :class:`~repro.core.device_common.DeviceInputs` for one
         query, served from the session's caches."""
@@ -400,6 +404,7 @@ class GraphSession:
             self._indexes.clear()
             self._htb_adj.clear()
             self._htb_two_hop.clear()
+            self._native_packs.clear()
             self._plans.clear()
             self._planner = None
             self.results.clear()

@@ -35,14 +35,15 @@ def _sorted_unique(rng, n, hi):
 
 class TestRegistry:
     def test_names(self):
-        assert set(BACKEND_NAMES) == {"sim", "fast", "par"}
+        assert set(BACKEND_NAMES) == {"sim", "fast", "par", "native"}
 
     def test_get_backend(self):
-        from repro.engine import ParallelBackend
+        from repro.engine import NativeBackend, ParallelBackend
 
         assert isinstance(get_backend("sim"), SimulatedDeviceBackend)
         assert isinstance(get_backend("fast"), FastBackend)
         assert isinstance(get_backend("par", workers=2), ParallelBackend)
+        assert isinstance(get_backend("native"), NativeBackend)
         with pytest.raises(QueryError):
             get_backend("cuda")
 

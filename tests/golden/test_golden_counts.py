@@ -1,6 +1,6 @@
 """Golden-count regression harness.
 
-Five algorithms x three kernel backends x three graph shapes, each
+Five algorithms x four kernel backends x three graph shapes, each
 asserted against the pinned count in ``golden_counts.json``.  The shapes
 stress different engine paths:
 
@@ -27,7 +27,7 @@ from repro.graph.builders import from_edges
 from repro.graph.generators import power_law_bipartite, random_bipartite
 
 ALGORITHMS = ("Basic", "GBC", "GBL", "BCL", "BCLP")
-BACKENDS = ("sim", "fast", "par")
+BACKENDS = ("sim", "fast", "par", "native")
 
 
 def _star_heavy():

@@ -27,7 +27,7 @@ QUERIES = [BicliqueQuery(2, 2), BicliqueQuery(3, 2), BicliqueQuery(2, 3)]
 
 class TestAutoMatchesExplicit:
     @pytest.mark.parametrize("graph_name", sorted(GRAPHS))
-    @pytest.mark.parametrize("backend", ["sim", "fast", "par"])
+    @pytest.mark.parametrize("backend", ["sim", "fast", "par", "native"])
     def test_auto_count_bit_identical(self, graph_name, backend):
         graph = GRAPHS[graph_name]
         workers = 2 if backend == "par" else None
@@ -66,7 +66,11 @@ class TestDeterminism:
         ranked = Planner(GRAPHS["random"]).rank(BicliqueQuery(2, 2))
         predictions = [p.predicted_seconds for p in ranked]
         assert predictions == sorted(predictions)
-        assert len({p.method for p in ranked}) == len(ranked)
+        # free engine choice prices methods per engine: each (method,
+        # engine) candidate appears exactly once
+        assert len({(p.method, p.backend) for p in ranked}) == len(ranked)
+        assert {p.method for p in ranked} == \
+            {"Basic", "BCL", "BCLP", "GBL", "GBC"}
 
     def test_session_probe_matches_sessionless(self):
         from repro.query import GraphSession
@@ -107,7 +111,22 @@ class TestRoundTrip:
 class TestEngineChoice:
     def test_free_choice_prefers_uninstrumented(self):
         plan = Planner(GRAPHS["random"]).plan(BicliqueQuery(2, 2))
-        assert plan.backend == "fast"
+        # auto means "fastest": either uninstrumented engine may win,
+        # but never the instrumented simulated device
+        assert plan.backend in ("fast", "native")
+
+    def test_free_choice_ranks_native_candidates(self):
+        """With no pinned engine the ranking prices the device methods
+        on the native batch-kernel engine too, with its own cost model
+        and an extra ``native:<layer>:<k>`` prepared requirement."""
+        ranked = Planner(GRAPHS["random"]).rank(BicliqueQuery(2, 2))
+        native = [p for p in ranked if p.backend == "native"]
+        assert {p.method for p in native} == {"GBL", "GBC"}
+        for plan in native:
+            assert any(key.startswith("native:") for key in plan.prepared)
+            fast_twin = next(p for p in ranked if p.backend == "fast"
+                             and p.method == plan.method)
+            assert plan.predicted_seconds < fast_twin.predicted_seconds
 
     def test_sim_backend_prefers_the_device_methods(self):
         """On the instrumented engine the headline is simulated device
@@ -145,3 +164,43 @@ class TestEngineChoice:
                                                 layer="V")
         assert all(p.method != "Basic" for p in ranked)
         assert all(p.layer == "V" for p in ranked)
+
+
+class TestSignalCaches:
+    """Sessionless planning memoises per-graph signals by content."""
+
+    def test_probe_runs_once_per_graph_content(self, monkeypatch):
+        import repro.core.estimate as estimate
+        from repro.plan import planner as planner_mod
+
+        graph = random_bipartite(22, 18, 90, seed=41)
+        query = BicliqueQuery(2, 2)
+        calls = {"n": 0}
+        real = estimate.sample_root_profile
+
+        def counting(*args, **kwargs):
+            calls["n"] += 1
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(estimate, "sample_root_profile", counting)
+        planner_mod._PROBE_CACHE.clear()
+        first = Planner(graph).plan(query)
+        second = Planner(graph).plan(query)   # a brand-new planner
+        assert first.as_dict() == second.as_dict()
+        assert calls["n"] == 1
+
+    def test_stats_cached_by_content(self):
+        from repro.graph.stats import cached_stats
+
+        graph = random_bipartite(22, 18, 90, seed=42)
+        assert cached_stats(graph) is cached_stats(graph)
+
+    def test_session_probe_still_warms_prepared_state(self, monkeypatch):
+        """Session planners bypass the probe cache on purpose: their
+        probe doubles as the session's prepared-state warmer."""
+        from repro.query import GraphSession
+
+        graph = random_bipartite(22, 18, 90, seed=43)
+        session = GraphSession(graph)
+        Planner(graph, session=session).plan(BicliqueQuery(2, 2))
+        assert session.stats.wedge_builds >= 1

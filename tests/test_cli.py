@@ -137,3 +137,35 @@ class TestCommands:
     def test_experiment(self, capsys):
         assert main(["experiment", "table2", "--scale", "tiny"]) == 0
         assert "Table II" in capsys.readouterr().out
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m_repro(self):
+        """``python -m repro`` runs the CLI (repro/__main__.py)."""
+        import os
+        import subprocess
+        import sys
+
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src)
+        done = subprocess.run(
+            [sys.executable, "-m", "repro", "count", "--dataset", "S1",
+             "--scale", "tiny", "-p", "2", "-q", "2", "--backend",
+             "native"],
+            capture_output=True, text=True, env=env, timeout=120)
+        assert done.returncode == 0, done.stderr
+        assert "bicliques:" in done.stdout
+
+    def test_python_dash_m_repro_bad_args_exit_code(self):
+        import os
+        import subprocess
+        import sys
+
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src)
+        done = subprocess.run([sys.executable, "-m", "repro"],
+                              capture_output=True, text=True, env=env,
+                              timeout=120)
+        assert done.returncode != 0
