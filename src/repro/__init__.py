@@ -45,6 +45,8 @@ Packages:
   ``execute_plan`` dispatch site behind ``method="auto"``.
 * :mod:`repro.query` — the batched multi-query engine (GraphSession,
   batch_count, LRU result cache).
+* :mod:`repro.dynamic` — streaming graphs: exact incremental (p, q)
+  maintenance under edge mutations, with epoch-pinned snapshots.
 * :mod:`repro.service` — the concurrent serving subsystem (bounded
   session pool, micro-batching scheduler with futures/deadlines/
   backpressure, telemetry, workload generator, serve-bench harness).
@@ -109,12 +111,18 @@ from repro.query import (
     graph_fingerprint,
     parse_queries,
 )
+from repro.dynamic import (
+    DynamicGraphSession,
+    EdgeMutation,
+    SnapshotSession,
+)
 from repro.service import (
     Scheduler,
     SchedulerConfig,
     SessionPool,
     Telemetry,
     WorkloadSpec,
+    mutate_bench,
     run_workload,
     serve_bench,
 )
@@ -149,6 +157,7 @@ __all__ = [
     "plan_query", "register_method",
     "GraphSession", "BatchResult", "ResultCache", "batch_count",
     "parse_queries", "graph_fingerprint",
+    "DynamicGraphSession", "SnapshotSession", "EdgeMutation",
     "SessionPool", "Scheduler", "SchedulerConfig", "Telemetry",
-    "WorkloadSpec", "run_workload", "serve_bench",
+    "WorkloadSpec", "run_workload", "serve_bench", "mutate_bench",
 ]

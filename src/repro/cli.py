@@ -160,6 +160,45 @@ def build_parser() -> argparse.ArgumentParser:
                     help="artifact path (default benchmarks/artifacts/"
                          "BENCH_serve.json)")
 
+    mb = sub.add_parser(
+        "serve-mutate-bench",
+        help="benchmark incremental (p,q) maintenance against "
+             "rebuild-per-edit and drive a mixed read/write workload; "
+             "writes BENCH_mutate.json")
+    mb.add_argument("--graphs", default="YT,S1", metavar="KEY[,KEY...]",
+                    help="comma-separated Table II stand-in keys "
+                         "(default YT,S1)")
+    mb.add_argument("--scale", default="tiny",
+                    choices=("tiny", "bench", "full"),
+                    help="stand-in scale (default tiny)")
+    mb.add_argument("--shapes", default="2x2,2x3,3x3", metavar="PxQ[,...]",
+                    help="tracked query shapes (default 2x2,2x3,3x3)")
+    mb.add_argument("--edits", type=int, default=200, metavar="N",
+                    help="toggle-stream length per graph (default 200)")
+    mb.add_argument("--rebuild-limit", type=int, default=16, metavar="N",
+                    help="edit cap for the rebuild-per-edit baseline "
+                         "(a rate needs few edits; default 16)")
+    mb.add_argument("--method", default="GBC", choices=_method_choices(),
+                    help="counting algorithm for recounts/rebuilds")
+    mb.add_argument("--backend", default="fast",
+                    choices=list(BACKEND_NAMES),
+                    help="kernel engine (default fast)")
+    mb.add_argument("--seed", type=int, default=0)
+    mb.add_argument("--queries", type=int, default=120, metavar="N",
+                    help="mixed read/write serving drive: total draws "
+                         "(0 disables the serving phase; default 120)")
+    mb.add_argument("--clients", type=int, default=8,
+                    help="serving-drive client threads (default 8)")
+    mb.add_argument("--mutate-fraction", type=float, default=0.15,
+                    help="fraction of serving draws that become edge "
+                         "toggles (default 0.15)")
+    mb.add_argument("--window-ms", type=float, default=2.0,
+                    help="micro-batching window in ms (default 2)")
+    mb.add_argument("--output", default="benchmarks/artifacts/"
+                                        "BENCH_mutate.json",
+                    help="artifact path (default benchmarks/artifacts/"
+                         "BENCH_mutate.json)")
+
     pl = sub.add_parser("plan",
                         help="inspect the cost-based query planner")
     plsub = pl.add_subparsers(dest="plan_command", required=True)
@@ -347,6 +386,69 @@ def _cmd_serve_bench(args) -> int:
     return 0
 
 
+def _cmd_serve_mutate_bench(args) -> int:
+    from repro.service import SchedulerConfig, WorkloadSpec, mutate_bench
+    from repro.service.bench import write_artifact
+
+    names = [n.strip() for n in args.graphs.split(",") if n.strip()]
+    known = list_datasets()
+    for name in names:
+        if name not in known:
+            print(f"error: unknown dataset {name!r}; pick from {known}",
+                  file=sys.stderr)
+            return 2
+    graphs = {name: load_dataset(name, args.scale) for name in names}
+    shapes = tuple((bq.p, bq.q) for bq in parse_queries(args.shapes))
+    serve_spec = None
+    if args.queries > 0:
+        serve_spec = WorkloadSpec(
+            graphs=tuple(names), shapes=shapes,
+            num_queries=args.queries, clients=args.clients,
+            method=args.method, seed=args.seed,
+            mutate_fraction=args.mutate_fraction)
+    config = SchedulerConfig(batch_window=args.window_ms / 1e3,
+                             backend=args.backend, method=args.method)
+    artifact = mutate_bench(graphs, shapes=shapes, edits=args.edits,
+                            rebuild_limit=args.rebuild_limit,
+                            method=args.method, backend=args.backend,
+                            seed=args.seed, serve_spec=serve_spec,
+                            config=config)
+    path = write_artifact(artifact, args.output)
+
+    rows = [[g["graph"], g["edits"],
+             f"{g['incremental_edits_per_s']:.1f}",
+             f"{g['rebuild_edits_per_s']:.1f}",
+             f"{g['speedup_vs_rebuild']:.1f}",
+             g["dynamic_stats"]["cutover_deferrals"],
+             len(g["mismatches"])]
+            for g in artifact["graphs"]]
+    print(render_table(
+        f"serve-mutate-bench — {args.edits} toggles over "
+        f"{', '.join(names)} ({args.scale}), shapes {args.shapes}, "
+        f"backend {args.backend}",
+        ["graph", "edits", "incr edits/s", "rebuild edits/s",
+         "speedup", "cutovers", "mismatches"], rows))
+    if serve_spec is not None:
+        served = artifact["serve"]["served"]
+        print(f"mixed serving drive: {served['completed']} reads, "
+              f"{served['mutations']} mutations, "
+              f"{served['failed']} failed, "
+              f"{served['throughput_qps']:.1f} qps; final epochs "
+              f"{artifact['serve']['pool']['dynamic_epochs']}")
+    print(f"min speedup vs rebuild-per-edit: "
+          f"{artifact['min_speedup_vs_rebuild']:.1f}x")
+    print(f"artifact: {path}")
+    if artifact["mismatches"]:
+        print(f"error: {artifact['mismatches']} incremental count(s) "
+              f"differ from rebuild/recount", file=sys.stderr)
+        return 1
+    if serve_spec is not None and artifact["serve"]["served"]["failed"]:
+        print("error: mixed serving drive recorded failures",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_plan(args) -> int:
     if args.plan_command != "explain":   # pragma: no cover - argparse
         return 2
@@ -439,6 +541,7 @@ def main(argv: list[str] | None = None) -> int:
         "plan": _cmd_plan,
         "batch": _cmd_batch,
         "serve-bench": _cmd_serve_bench,
+        "serve-mutate-bench": _cmd_serve_mutate_bench,
         "enumerate": _cmd_enumerate,
         "estimate": _cmd_estimate,
         "datasets": _cmd_datasets,

@@ -14,6 +14,14 @@ a wedge partner u' closes a rectangle (u, u', v, w).  Deletion destroys
 the same quantity computed before removal.  Each update costs
 O(d(v) * (d(u) + max d(u'))) with sorted-merge intersections, far below
 recounting.
+
+The wedge-closure sum is the (2, 2) instance of the general rule in
+:mod:`repro.core.delta` — the bicliques through (u, v) are the
+(p-1, q-1)-bicliques of the subgraph induced on N(v)\\{u} x N(u)\\{v} —
+and this counter now evaluates its delta through that shared rule.
+:class:`repro.dynamic.DynamicGraphSession` is the generalisation:
+arbitrary tracked shapes, epoch-versioned snapshots, and a
+delta-vs-rebuild cost cutover.
 """
 
 from __future__ import annotations
@@ -22,6 +30,7 @@ from dataclasses import dataclass, field
 
 
 from repro.core.butterfly import butterfly_count
+from repro.core.delta import bicliques_containing_edge
 from repro.errors import GraphValidationError
 from repro.graph.bipartite import BipartiteGraph, LAYER_U, LAYER_V
 from repro.graph.builders import from_edges
@@ -75,28 +84,10 @@ class DynamicButterflyCounter:
         return i < len(row) and row[i] == v
 
     def _delta(self, u: int, v: int) -> int:
-        """Butterflies closed by edge (u, v), counted over current adjacency
-        *excluding* (u, v) itself."""
-        nu = self.adj_u[u]
-        delta = 0
-        for u_prime in self.adj_v[v]:
-            if u_prime == u:
-                continue
-            # |N(u) ∩ N(u')| via sorted merge, skipping v itself
-            other = self.adj_u[u_prime]
-            i = j = 0
-            while i < len(nu) and j < len(other):
-                a, b = nu[i], other[j]
-                if a == b:
-                    if a != v:
-                        delta += 1
-                    i += 1
-                    j += 1
-                elif a < b:
-                    i += 1
-                else:
-                    j += 1
-        return delta
+        """Butterflies closed by edge (u, v) — the (2, 2) instance of the
+        shared :func:`repro.core.delta.bicliques_containing_edge` rule,
+        invariant to whether (u, v) itself is currently present."""
+        return bicliques_containing_edge(self.adj_u, self.adj_v, u, v, 2, 2)
 
     def insert(self, u: int, v: int) -> int:
         """Insert edge (u, v); returns the number of butterflies created."""

@@ -155,6 +155,23 @@ class Planner:
                 else graph_fingerprint(self.graph)
         return self._fp
 
+    def _sync(self) -> None:
+        """Drop memoised signals if the graph content changed under us.
+
+        A planner reused across an in-place mutation of its graph's
+        arrays (or across a ``session.refresh()``) would otherwise keep
+        serving the old fingerprint, stats and probe results — the
+        module-level signal caches are fingerprint-keyed and safe, but
+        the instance memos are not.  Called on every public entry
+        point; costs one content hash when nothing changed.
+        """
+        fp = self.session.fingerprint if self.session is not None \
+            else graph_fingerprint(self.graph)
+        if fp != self._fp:
+            self._fp = fp
+            self._stats = None
+            self._probes.clear()
+
     def _graph_stats(self):
         if self._stats is None:
             self._stats = cached_stats(self.graph)
@@ -196,6 +213,7 @@ class Planner:
         under one execution engine — deterministic for a fixed seed."""
         from repro.gpu.device import rtx_3090
 
+        self._sync()
         stats = self._graph_stats()
         probe = self._probe(query, layer)
         anchored = probe.anchored_layer

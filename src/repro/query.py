@@ -233,6 +233,10 @@ class GraphSession:
     warm proceed in parallel.
     """
 
+    #: epoch of the :class:`repro.dynamic.DynamicGraphSession` snapshot
+    #: this session was materialised from, or None for a static session
+    epoch: int | None = None
+
     def __init__(self, graph: BipartiteGraph, spec=None,
                  max_cached_results: int = 256) -> None:
         self._graph = graph
@@ -541,8 +545,11 @@ def batch_count(graph: BipartiteGraph | GraphSession,
 
     ``graph`` may be a raw :class:`~repro.graph.bipartite.BipartiteGraph`
     (a fresh :class:`GraphSession` is created for the batch and returned
-    on the result) or an existing session, which keeps its caches warm
-    across batches.  ``queries`` is anything :func:`parse_queries`
+    on the result), an existing session, which keeps its caches warm
+    across batches, or anything exposing ``as_graph_session()`` — a
+    :class:`repro.dynamic.DynamicGraphSession` or one of its pinned
+    snapshots, in which case the whole batch evaluates against one
+    consistent epoch.  ``queries`` is anything :func:`parse_queries`
     accepts.  All remaining arguments mirror the single-query entry
     points: ``method`` picks the algorithm (``"auto"`` asks the
     cost-based planner, which plans once per distinct query shape and
@@ -561,15 +568,24 @@ def batch_count(graph: BipartiteGraph | GraphSession,
     value-equal to the session's — including the ``rtx_3090`` default
     of a session built without one — is accepted).
     """
-    if isinstance(graph, GraphSession):
-        session = graph
+    if isinstance(graph, BipartiteGraph):
+        session = GraphSession(graph, spec=spec)
+    else:
+        if isinstance(graph, GraphSession):
+            session = graph
+        elif hasattr(graph, "as_graph_session"):
+            # an epoch-pinned dynamic graph or snapshot (repro.dynamic):
+            # the batch runs against its materialised immutable session
+            session = graph.as_graph_session()
+        else:
+            raise QueryError(
+                f"batch_count needs a BipartiteGraph, GraphSession, or "
+                f"dynamic session/snapshot; got {type(graph).__name__}")
         effective = session.spec if session.spec is not None else rtx_3090()
         if spec is not None and spec != effective:
             raise QueryError("spec= conflicts with the existing session's "
                              "device spec; create the GraphSession with "
                              "the spec you want")
-    else:
-        session = GraphSession(graph, spec=spec)
     parsed = parse_queries(queries)
     hits0, misses0 = session.results.hits, session.results.misses
     results = [session.count(q, method, backend=backend, workers=workers,

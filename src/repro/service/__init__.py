@@ -32,6 +32,7 @@ graphs, one process.  Four parts, composed top-down:
 """
 
 from repro.service.bench import serve_bench, verify_served, write_artifact
+from repro.service.mutate import edit_stream, mutate_bench
 from repro.service.pool import PoolStats, SessionPool, graph_resident_bytes
 from repro.service.scheduler import Scheduler, SchedulerConfig
 from repro.service.telemetry import Telemetry, percentile
@@ -46,4 +47,5 @@ __all__ = [
     "WorkloadSpec", "WorkloadResult", "ServedQuery",
     "generate_requests", "run_workload",
     "serve_bench", "verify_served", "write_artifact",
+    "mutate_bench", "edit_stream",
 ]

@@ -15,9 +15,18 @@ holding an already-acquired session keeps a live object reference (the
 pool forgetting it does not destroy it), and the next request simply
 pays the rebuild.
 
+Entries may also be **dynamic**: registering a
+:class:`~repro.dynamic.DynamicGraphSession` makes the name mutable
+through :meth:`SessionPool.mutate` while staying readable — each
+:meth:`SessionPool.session` call returns an epoch-pinned
+:class:`~repro.dynamic.SnapshotSession`, so an in-flight scheduler
+batch keeps one consistent version while writers advance the epoch.
+Evicting a dynamic entry drops its cached snapshot/prepared state; the
+graph, its epoch and its tracked counts survive.
+
 All pool operations are safe under concurrent access from scheduler
-worker threads; :attr:`stats` counts hits, builds and evictions so
-sizing decisions are observable.
+worker threads; :attr:`stats` counts hits, builds, evictions and
+mutations so sizing decisions are observable.
 """
 
 from __future__ import annotations
@@ -26,6 +35,7 @@ import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
+from repro.dynamic import DynamicGraphSession
 from repro.errors import ServiceError
 from repro.graph.bipartite import BipartiteGraph
 from repro.query import GraphSession
@@ -53,12 +63,14 @@ class PoolStats:
     builds: int = 0      #: sessions constructed (first use or rebuild)
     evictions: int = 0   #: sessions dropped to satisfy a budget
     loads: int = 0       #: loader invocations (graph materialisations)
+    mutations: int = 0   #: edge mutations applied to dynamic entries
     #: eviction count per graph name, for spotting thrash
     evicted_by_name: dict[str, int] = field(default_factory=dict)
 
     def as_dict(self) -> dict:
         return {"hits": self.hits, "builds": self.builds,
                 "evictions": self.evictions, "loads": self.loads,
+                "mutations": self.mutations,
                 "evicted_by_name": dict(self.evicted_by_name)}
 
 
@@ -105,8 +117,11 @@ class SessionPool:
 
     # -- registration --------------------------------------------------
     def register(self, name: str, graph_or_loader) -> None:
-        """Register ``name`` as a :class:`BipartiteGraph` or a
-        zero-argument loader returning one.
+        """Register ``name`` as a :class:`BipartiteGraph`, a
+        zero-argument loader returning one, or a
+        :class:`~repro.dynamic.DynamicGraphSession` (a *dynamic* entry:
+        readable through epoch-pinned snapshots, writable through
+        :meth:`mutate`).
 
         Registration is cheap: nothing is prepared until the first
         :meth:`session` call.  Re-registering a name drops its live
@@ -115,6 +130,17 @@ class SessionPool:
         with self._lock:
             self._loaders[name] = graph_or_loader
             self._drop(name)
+
+    def is_dynamic(self, name: str) -> bool:
+        """Whether ``name`` is a mutable dynamic entry."""
+        with self._lock:
+            return isinstance(self._loaders.get(name), DynamicGraphSession)
+
+    def dynamic_names(self) -> list[str]:
+        """Every registered dynamic (mutable) graph name."""
+        with self._lock:
+            return sorted(n for n, ld in self._loaders.items()
+                          if isinstance(ld, DynamicGraphSession))
 
     def names(self) -> list[str]:
         """Every registered graph name (live session or not)."""
@@ -129,7 +155,10 @@ class SessionPool:
     # -- the serving path ----------------------------------------------
     def session(self, name: str) -> GraphSession:
         """The prepared session for ``name``, building (or rebuilding
-        after eviction) on demand and refreshing LRU recency.
+        after eviction) on demand and refreshing LRU recency.  A
+        dynamic entry returns an epoch-pinned
+        :class:`~repro.dynamic.SnapshotSession` instead (same ``count``
+        / ``plan`` surface).
 
         Loaders run *outside* the pool lock — a slow disk load for one
         graph must not stall ``session()`` calls for every other graph —
@@ -152,6 +181,12 @@ class SessionPool:
                     raise ServiceError(
                         f"unknown graph {name!r}; registered: "
                         f"{self.names()}")
+                if isinstance(loader, DynamicGraphSession):
+                    # dynamic entries hand out epoch-pinned snapshots:
+                    # the caller (one scheduler batch) reads a single
+                    # consistent version no matter how writers race
+                    self.stats.hits += 1
+                    return loader.pinned()
                 if isinstance(loader, BipartiteGraph):
                     graph = loader
                 else:
@@ -184,14 +219,83 @@ class SessionPool:
 
     def evict(self, name: str) -> bool:
         """Drop ``name``'s live session (its next request rebuilds).
-        Returns whether a session was actually dropped."""
+        For a dynamic entry this releases its cached snapshot and
+        prepared state; graph, epoch and tracked counts survive.
+        Returns whether anything was actually dropped."""
         with self._lock:
-            dropped = self._drop(name)
+            loader = self._loaders.get(name)
+            if isinstance(loader, DynamicGraphSession):
+                dropped = loader.drop_caches()
+            else:
+                dropped = self._drop(name)
             if dropped:
                 self.stats.evictions += 1
                 by = self.stats.evicted_by_name
                 by[name] = by.get(name, 0) + 1
             return dropped
+
+    # -- the mutation path ---------------------------------------------
+    def mutate(self, name: str, mutations) -> int:
+        """Apply an edge-mutation batch to dynamic entry ``name``.
+
+        ``mutations`` is an iterable of
+        :class:`~repro.dynamic.EdgeMutation`.  Returns the entry's new
+        epoch.  Snapshots already handed out keep serving their pinned
+        version; the next :meth:`session` call pins the new one.
+        Mutating a non-dynamic entry raises
+        :class:`~repro.errors.ServiceError`.
+        """
+        mutations = list(mutations)
+        with self._lock:
+            if self._closed:
+                raise ServiceError("session pool is closed")
+            loader = self._loaders.get(name)
+            if loader is None:
+                raise ServiceError(f"unknown graph {name!r}; registered: "
+                                   f"{self.names()}")
+            if not isinstance(loader, DynamicGraphSession):
+                raise ServiceError(
+                    f"graph {name!r} is not dynamic; register a "
+                    f"DynamicGraphSession to make it mutable")
+        # apply outside the pool lock: the writer serialises on the
+        # dynamic session's own lock, readers keep pinning freely
+        epoch = loader.apply_batch(mutations)
+        with self._lock:
+            self.stats.mutations += len(mutations)
+        return epoch
+
+    def refresh(self, name: str) -> bool:
+        """Re-validate ``name``'s live session against its graph's
+        current content (the repair for a registered *static* graph
+        object mutated in place — see ``GraphSession.refresh``).
+
+        Returns True when stale prepared state was detected and
+        dropped.  Dynamic entries are versioned, never stale, so this
+        is always False for them; a name with no live session has
+        nothing to refresh.
+        """
+        with self._lock:
+            loader = self._loaders.get(name)
+            if loader is None:
+                raise ServiceError(f"unknown graph {name!r}; registered: "
+                                   f"{self.names()}")
+            if isinstance(loader, DynamicGraphSession):
+                return False
+            session = self._sessions.get(name)
+        return session.refresh() if session is not None else False
+
+    def dimensions(self, name: str) -> tuple[int, int]:
+        """(num_u, num_v) of graph ``name`` — the valid mutation
+        coordinate space for a dynamic entry — materialising the graph
+        if needed."""
+        with self._lock:
+            loader = self._loaders.get(name)
+            if isinstance(loader, DynamicGraphSession):
+                return loader.num_u, loader.num_v
+            if isinstance(loader, BipartiteGraph):
+                return loader.num_u, loader.num_v
+        graph = self.session(name).graph
+        return graph.num_u, graph.num_v
 
     def resident_bytes(self) -> int:
         """Summed size estimate of all live pooled graphs."""
@@ -204,14 +308,20 @@ class SessionPool:
             self._closed = True
             self._sessions.clear()
             self._bytes.clear()
+            for loader in self._loaders.values():
+                if isinstance(loader, DynamicGraphSession):
+                    loader.drop_caches()
 
     def snapshot(self) -> dict:
         """JSON-serialisable pool state for telemetry artifacts."""
         with self._lock:
+            dynamic = {n: ld.epoch for n, ld in self._loaders.items()
+                       if isinstance(ld, DynamicGraphSession)}
             return {"max_sessions": self.max_sessions,
                     "max_bytes": self.max_bytes,
                     "registered": len(self._loaders),
                     "live": list(self._sessions),
+                    "dynamic_epochs": dynamic,
                     "resident_bytes": sum(self._bytes.values()),
                     **self.stats.as_dict()}
 

@@ -205,6 +205,22 @@ class Scheduler:
         return self.submit(graph, p, q, method=method,
                            deadline=deadline).result(timeout=timeout)
 
+    def mutate(self, graph: str, mutations) -> int:
+        """Apply an edge-mutation batch to a dynamic pooled graph.
+
+        The synchronous write path of mutate-while-serving: writers go
+        straight to the pool (serialised on the dynamic session's own
+        lock) while reader batches keep executing against the epochs
+        they pinned at batch start.  Returns the graph's new epoch.
+        """
+        with self._cond:
+            if self._closed:
+                raise ServiceClosedError("scheduler is closed")
+        mutations = list(mutations)
+        epoch = self.pool.mutate(graph, mutations)
+        self.telemetry.record_mutations(len(mutations))
+        return epoch
+
     def pending(self) -> int:
         """Requests queued but not yet handed to a worker."""
         with self._cond:

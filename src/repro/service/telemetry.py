@@ -54,6 +54,7 @@ class Telemetry:
         self.expired = 0       #: deadlines missed before execution
         self.completed = 0
         self.failed = 0        #: requests whose execution raised
+        self.mutations = 0     #: edge mutations applied while serving
         self.batches = 0
         self._batch_sizes: Counter[int] = Counter()
         self._queue_depth_last = 0
@@ -91,6 +92,10 @@ class Telemetry:
         with self._lock:
             self.failed += 1
 
+    def record_mutations(self, n: int = 1) -> None:
+        with self._lock:
+            self.mutations += n
+
     def _record_latency(self, ms: float) -> None:
         self._latency_seen += 1
         if self._latency_seen % self._latency_stride:
@@ -123,6 +128,7 @@ class Telemetry:
                 "expired": self.expired,
                 "completed": self.completed,
                 "failed": self.failed,
+                "mutations": self.mutations,
                 "throughput_qps": (self.completed / elapsed) if elapsed > 0
                                   else 0.0,
                 "queue_depth": {"last": self._queue_depth_last,

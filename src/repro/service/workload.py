@@ -17,6 +17,13 @@ shared serving tier actually sees; query shapes are drawn from a
 weighted mix.  :func:`run_workload` drives a
 :class:`~repro.service.scheduler.Scheduler` with the stream and returns
 everything needed for a benchmark artifact.
+
+A spec can also mix **writes** into the stream: with
+``mutate_fraction > 0`` each client replaces that fraction of its draws
+with a single-edge toggle (a seeded uniform (u, v) pick on a graph from
+``mutate_graphs``, which must be dynamic pool entries) submitted through
+``scheduler.mutate`` — the mutate-while-serving traffic shape
+``serve-mutate-bench`` measures.
 """
 
 from __future__ import annotations
@@ -27,6 +34,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.dynamic import EdgeMutation
 from repro.errors import DeadlineExceededError, QueueFullError, ServiceError
 from repro.plan import ensure_known
 
@@ -56,6 +64,11 @@ class WorkloadSpec:
     method: str = "GBC"
     deadline: float | None = None   #: per-request deadline (seconds)
     seed: int = 0
+    #: fraction of each client's draws that become edge toggles
+    mutate_fraction: float = 0.0
+    #: names the writer targets (defaults to ``graphs``); must be
+    #: dynamic pool entries
+    mutate_graphs: tuple[str, ...] | None = None
 
     def __post_init__(self) -> None:
         if not self.graphs:
@@ -75,6 +88,11 @@ class WorkloadSpec:
                                f"got {self.rate_qps}")
         if self.clients < 1:
             raise ServiceError(f"clients must be >= 1, got {self.clients}")
+        if not 0.0 <= self.mutate_fraction < 1.0:
+            raise ServiceError(f"mutate_fraction must be in [0, 1), "
+                               f"got {self.mutate_fraction}")
+        if self.mutate_graphs is not None and not self.mutate_graphs:
+            raise ServiceError("mutate_graphs must be None or non-empty")
         ensure_known(self.method, allow_auto=True)
 
     def as_dict(self) -> dict:
@@ -92,6 +110,9 @@ class WorkloadSpec:
             "method": self.method,
             "deadline": self.deadline,
             "seed": self.seed,
+            "mutate_fraction": self.mutate_fraction,
+            "mutate_graphs": None if self.mutate_graphs is None
+                             else list(self.mutate_graphs),
         }
 
     @classmethod
@@ -110,6 +131,8 @@ class WorkloadSpec:
         if data.get("shape_weights") is not None:
             data["shape_weights"] = tuple(float(w)
                                           for w in data["shape_weights"])
+        if data.get("mutate_graphs") is not None:
+            data["mutate_graphs"] = tuple(data["mutate_graphs"])
         return cls(**data)
 
 
@@ -174,6 +197,7 @@ class WorkloadResult:
     rejected: int = 0          #: admission failures (queue full)
     expired: int = 0           #: deadline misses
     failed: int = 0            #: other per-request errors
+    mutations: int = 0         #: edge toggles applied by the writer draws
     wall_seconds: float = 0.0
 
     @property
@@ -189,6 +213,7 @@ class WorkloadResult:
         return {"spec": self.spec.as_dict(), "issued": self.issued,
                 "completed": self.completed, "rejected": self.rejected,
                 "expired": self.expired, "failed": self.failed,
+                "mutations": self.mutations,
                 "wall_seconds": self.wall_seconds,
                 "throughput_qps": self.throughput_qps}
 
@@ -213,9 +238,28 @@ def run_workload(scheduler, spec: WorkloadSpec) -> WorkloadResult:
     """
     outcome = WorkloadResult(spec=spec, served=[])
     lock = threading.Lock()
+    dims: dict[str, tuple[int, int]] = {}
     t0 = time.monotonic()
     stop_at = None if spec.duration_seconds is None \
         else t0 + spec.duration_seconds
+
+    def mutate_once(rng) -> None:
+        # one seeded uniform toggle; failures (non-dynamic target,
+        # out-of-range name) are recorded, never fatal to the drive
+        names = spec.mutate_graphs or spec.graphs
+        gname = names[int(rng.integers(len(names)))]
+        try:
+            if gname not in dims:
+                dims[gname] = scheduler.pool.dimensions(gname)
+            nu, nv = dims[gname]
+            scheduler.mutate(gname, [EdgeMutation(
+                "toggle", int(rng.integers(nu)), int(rng.integers(nv)))])
+        except Exception as exc:
+            with lock:
+                _classify(outcome, exc)
+            return
+        with lock:
+            outcome.mutations += 1
 
     def settle(graph: str, p: int, q: int, future) -> None:
         # any exception, not just ReproError: the scheduler parks
@@ -237,12 +281,17 @@ def run_workload(scheduler, spec: WorkloadSpec) -> WorkloadResult:
         def client(client_id: int) -> None:
             stream = _endless_stream(spec, seed_offset=client_id,
                                      stride=spec.clients)
+            mut_rng = np.random.default_rng((spec.seed, 48879, client_id))
             for graph, p, q in stream:
                 if stop_at is not None:
                     if time.monotonic() >= stop_at:
                         return
                 elif not budget.acquire(blocking=False):
                     return
+                if spec.mutate_fraction \
+                        and mut_rng.random() < spec.mutate_fraction:
+                    mutate_once(mut_rng)
+                    continue
                 try:
                     future = scheduler.submit(graph, p, q,
                                               method=spec.method,
@@ -265,6 +314,7 @@ def run_workload(scheduler, spec: WorkloadSpec) -> WorkloadResult:
     else:
         interval = 1.0 / spec.rate_qps
         inflight: list[tuple[str, int, int, object]] = []
+        mut_rng = np.random.default_rng((spec.seed, 48879, 0))
         n = spec.num_queries if stop_at is None \
             else max(1, int(spec.rate_qps * spec.duration_seconds * 2))
         for i, (graph, p, q) in enumerate(generate_requests(spec, n)):
@@ -274,6 +324,10 @@ def run_workload(scheduler, spec: WorkloadSpec) -> WorkloadResult:
                 time.sleep(delay)
             if stop_at is not None and time.monotonic() >= stop_at:
                 break
+            if spec.mutate_fraction \
+                    and mut_rng.random() < spec.mutate_fraction:
+                mutate_once(mut_rng)
+                continue
             outcome.issued += 1
             try:
                 inflight.append(

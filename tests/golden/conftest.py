@@ -19,6 +19,7 @@ from pathlib import Path
 import pytest
 
 GOLDEN_PATH = Path(__file__).parent / "golden_counts.json"
+MUTATIONS_PATH = Path(__file__).parent / "golden_mutations.json"
 
 
 class GoldenStore:
@@ -58,5 +59,15 @@ class GoldenStore:
 @pytest.fixture(scope="session")
 def golden(request) -> GoldenStore:
     return GoldenStore(GOLDEN_PATH,
+                       bool(request.config.getoption("--update-golden",
+                                                     default=False)))
+
+
+@pytest.fixture(scope="session")
+def golden_mutations(request) -> GoldenStore:
+    """Pinned per-prefix count traces for the golden mutation streams
+    (``golden_mutations.json``); same assert-or-repin semantics and the
+    same ``--update-golden`` flag as the count store."""
+    return GoldenStore(MUTATIONS_PATH,
                        bool(request.config.getoption("--update-golden",
                                                      default=False)))

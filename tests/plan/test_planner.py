@@ -195,6 +195,40 @@ class TestSignalCaches:
         graph = random_bipartite(22, 18, 90, seed=42)
         assert cached_stats(graph) is cached_stats(graph)
 
+    def test_reused_planner_reprobes_after_in_place_edit(self, monkeypatch):
+        """One planner held across an in-place mutation of its graph's
+        arrays must re-sync: the old probe memo is dropped and the new
+        content is probed exactly once (see also
+        tests/query/test_staleness.py for the full staleness layer)."""
+        import numpy as np
+
+        import repro.core.estimate as estimate
+        from repro.plan import planner as planner_mod
+
+        graph = random_bipartite(22, 18, 90, seed=44)
+        donor = random_bipartite(22, 18, 90, seed=45)
+        query = BicliqueQuery(2, 2)
+        calls = {"n": 0}
+        real = estimate.sample_root_profile
+
+        def counting(*args, **kwargs):
+            calls["n"] += 1
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(estimate, "sample_root_profile", counting)
+        planner_mod._PROBE_CACHE.clear()
+        planner = Planner(graph)
+        planner.plan(query)
+        planner.plan(query)                      # memoised: no new probe
+        assert calls["n"] == 1
+        for name in ("u_offsets", "u_neighbors", "v_offsets",
+                     "v_neighbors"):
+            np.copyto(getattr(graph, name), getattr(donor, name))
+        changed = planner.plan(query)            # re-syncs, probes again
+        assert calls["n"] == 2
+        assert changed.as_dict() == Planner(graph).plan(query).as_dict()
+        assert calls["n"] == 2                   # shared via probe cache
+
     def test_session_probe_still_warms_prepared_state(self, monkeypatch):
         """Session planners bypass the probe cache on purpose: their
         probe doubles as the session's prepared-state warmer."""
