@@ -60,12 +60,15 @@ from repro.core import (
     BicliqueQuery,
     CountResult,
     DeviceRunResult,
+    EstimateResult,
     GBCOptions,
+    approx_count,
     basic_count,
     bcl_count,
     bclp_count,
     brute_force_count,
     butterfly_count,
+    estimate_count,
     gbc_count,
     gbc_variant,
     gbl_count,
@@ -146,6 +149,7 @@ __all__ = [
     "BicliqueQuery", "CountResult", "DeviceRunResult", "GBCOptions",
     "basic_count", "bcl_count", "bclp_count", "gbl_count", "gbc_count",
     "gbc_variant", "butterfly_count", "brute_force_count", "run_pipeline",
+    "EstimateResult", "estimate_count", "approx_count",
     "BipartiteGraph", "from_edges", "from_adjacency", "complete_bipartite",
     "random_bipartite", "power_law_bipartite", "paper_synthetic",
     "planted_bicliques", "star_bipartite", "read_edge_list", "write_edge_list",

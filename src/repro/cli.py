@@ -26,11 +26,12 @@ from repro.bench.tables import format_seconds, render_table
 from repro.core.counts import BicliqueQuery, DeviceRunResult
 from repro.core.enumerate import enumerate_bicliques
 from repro.engine import BACKEND_NAMES
-from repro.core.estimate import estimate_count
+from repro.errors import DeadlineExceededError, PlanError, QueryError
 from repro.graph.io import read_edge_list
 from repro.graph.stats import compute_stats
-from repro.plan import AUTO, Planner, execute_plan, method_names
-from repro.query import batch_count, parse_queries
+from repro.plan import (ACCURACIES, AUTO, Planner, execute_plan,
+                        explicit_plan, method_names)
+from repro.query import GraphSession, batch_count, parse_queries
 
 __all__ = ["main", "build_parser"]
 
@@ -76,9 +77,10 @@ def build_parser() -> argparse.ArgumentParser:
     add_graph_args(c)
     c.add_argument("-p", type=int, required=True)
     c.add_argument("-q", type=int, required=True)
-    c.add_argument("--method", default="GBC", choices=_method_choices(),
+    c.add_argument("--method", default=None, choices=_method_choices(),
                    help="counting algorithm; 'auto' lets the cost-based "
-                        "planner choose")
+                        "planner choose (default GBC, or auto when "
+                        "--accuracy is not exact)")
     c.add_argument("--backend", default=None, choices=list(BACKEND_NAMES),
                    help="kernel execution engine: 'sim' reports simulated "
                         "device metrics, 'fast' skips instrumentation, "
@@ -88,6 +90,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worker processes for the parallel engine; "
                         "implies --backend par (default: all usable CPUs "
                         "when --backend par is chosen explicitly)")
+    c.add_argument("--accuracy", default="exact", choices=list(ACCURACIES),
+                   help="service tier: exact counts, the sampling tier "
+                        "(reports a 95%% CI), or auto (exact when it "
+                        "fits the deadline; default exact)")
+    c.add_argument("--deadline", type=float, default=None, metavar="SECS",
+                   help="latency budget the plan must fit; with "
+                        "--accuracy exact a predicted overrun is an "
+                        "error, with auto it downgrades to sampling")
 
     b = sub.add_parser("batch",
                        help="run many (p,q) queries with shared "
@@ -95,15 +105,22 @@ def build_parser() -> argparse.ArgumentParser:
     add_graph_args(b)
     b.add_argument("--queries", required=True, metavar="PxQ[,PxQ...]",
                    help="comma-separated query list, e.g. 3x3,3x4,4x4")
-    b.add_argument("--method", default="GBC", choices=_method_choices(),
+    b.add_argument("--method", default=None, choices=_method_choices(),
                    help="counting algorithm; 'auto' plans once per "
-                        "query shape and shares prepared state")
+                        "query shape and shares prepared state "
+                        "(default GBC, or auto when --accuracy is "
+                        "not exact)")
     b.add_argument("--backend", default=None, choices=list(BACKEND_NAMES),
                    help="kernel execution engine shared by the whole batch "
                         "(default: sim, or par when --workers is given)")
     b.add_argument("--workers", type=int, default=None, metavar="N",
                    help="worker processes for the parallel engine; "
                         "implies --backend par")
+    b.add_argument("--accuracy", default="exact", choices=list(ACCURACIES),
+                   help="service tier for every query in the batch "
+                        "(default exact)")
+    b.add_argument("--deadline", type=float, default=None, metavar="SECS",
+                   help="per-query latency budget (see count --deadline)")
 
     sb = sub.add_parser(
         "serve-bench",
@@ -130,9 +147,11 @@ def build_parser() -> argparse.ArgumentParser:
                     help="query-shape mix (default 2x2,2x3,3x3)")
     sb.add_argument("--zipf", type=float, default=1.1,
                     help="graph-popularity skew exponent (default 1.1)")
-    sb.add_argument("--method", default="GBC", choices=_method_choices(),
+    sb.add_argument("--method", default=None, choices=_method_choices(),
                     help="counting algorithm; 'auto' adapts per "
-                         "(graph, shape) through the pooled sessions")
+                         "(graph, shape) through the pooled sessions "
+                         "(default GBC, or auto when --accuracy is "
+                         "not exact)")
     sb.add_argument("--backend", default="fast",
                     choices=list(BACKEND_NAMES),
                     help="kernel engine batches execute on (default fast)")
@@ -150,6 +169,12 @@ def build_parser() -> argparse.ArgumentParser:
                          "(default: one per graph)")
     sb.add_argument("--deadline", type=float, default=None, metavar="SECS",
                     help="per-request deadline")
+    sb.add_argument("--accuracy", default="exact",
+                    choices=list(ACCURACIES),
+                    help="service tier of every request: exact, the "
+                         "sampling tier, or auto — exact when it fits "
+                         "the deadline, sampling otherwise "
+                         "(default exact)")
     sb.add_argument("--seed", type=int, default=0)
     sb.add_argument("--naive-limit", type=int, default=100, metavar="N",
                     help="request cap for the naive baseline (default 100)")
@@ -221,6 +246,13 @@ def build_parser() -> argparse.ArgumentParser:
     pe.add_argument("--measure", action="store_true",
                     help="also execute every candidate and report its "
                          "measured headline seconds")
+    pe.add_argument("--accuracy", default="exact",
+                    choices=list(ACCURACIES),
+                    help="rank this service tier's candidates "
+                         "(default exact; the approx alternative is "
+                         "always shown)")
+    pe.add_argument("--deadline", type=float, default=None, metavar="SECS",
+                    help="latency budget the ranked plans must fit")
 
     e = sub.add_parser("enumerate", help="list (p,q)-bicliques")
     add_graph_args(e)
@@ -237,6 +269,9 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("-q", type=int, required=True)
     s.add_argument("--samples", type=int, default=64)
     s.add_argument("--seed", type=int, default=0)
+    s.add_argument("--backend", default="fast", choices=list(BACKEND_NAMES),
+                   help="kernel engine the estimator's subtree "
+                        "enumeration runs on (default fast)")
 
     sub.add_parser("datasets", help="list the Table II stand-ins")
 
@@ -264,24 +299,66 @@ def _sim_with_workers(args) -> bool:
     return False
 
 
+def _resolve_method(args) -> str | None:
+    """The effective --method: the historical GBC default, or ``auto``
+    when a non-exact tier was asked for without naming a method.  None
+    (an argument error) when an explicitly named exact method
+    contradicts the requested tier."""
+    if args.method is None:
+        return AUTO if args.accuracy != "exact" else "GBC"
+    if args.accuracy != "exact" and args.method not in (AUTO, "approx"):
+        print(f"error: --accuracy {args.accuracy} lets the planner choose "
+              f"the method; drop --method {args.method} or use "
+              f"--method auto", file=sys.stderr)
+        return None
+    return args.method
+
+
+def _print_approx(result) -> None:
+    ex = result.extras
+    print(f"estimate: {ex['estimate']:.1f} +- {ex['ci95']:.1f} (95% CI, "
+          f"s.e. {ex['std_error']:.1f}); sampled {int(ex['samples'])} of "
+          f"{int(ex['population'])} root trees, seed {int(ex['seed'])}")
+
+
 def _cmd_count(args) -> int:
     if _sim_with_workers(args):
         return 2
+    method = _resolve_method(args)
+    if method is None:
+        return 2
     graph = _load(args)
     query = BicliqueQuery(args.p, args.q)
-    if args.method == AUTO:
-        plan = Planner(graph).plan(query, backend=args.backend,
-                                   workers=args.workers)
+    if method == AUTO or args.accuracy != "exact":
+        try:
+            plan = Planner(graph).plan(query, backend=args.backend,
+                                       workers=args.workers,
+                                       accuracy=args.accuracy,
+                                       deadline=args.deadline)
+        except DeadlineExceededError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
         result = execute_plan(plan, graph, query)
         print(f"plan: auto -> {plan.method} on {plan.backend} "
               f"({plan.reason})")
     else:
-        result = run_method(args.method, graph, query, backend=args.backend,
+        if args.deadline is not None:
+            predicted = Planner(graph).predict(query, method,
+                                               backend=args.backend,
+                                               workers=args.workers)
+            if predicted > args.deadline:
+                print(f"error: {method} predicts {predicted:.3g}s "
+                      f"against a {args.deadline:.3g}s deadline; retry "
+                      f"with --accuracy auto", file=sys.stderr)
+                return 1
+        result = run_method(method, graph, query, backend=args.backend,
                             workers=args.workers)
     simulated = isinstance(result, DeviceRunResult) \
         and result.backend_instrumented
     print(f"graph: {graph}")
     print(f"({args.p},{args.q})-bicliques: {result.count}")
+    if result.algorithm == "approx":
+        _print_approx(result)
     print(f"method: {result.algorithm}, anchored layer: "
           f"{result.anchored_layer}, backend: {result.backend}")
     print(f"time: {format_seconds(headline_seconds(result))} "
@@ -296,13 +373,24 @@ def _cmd_count(args) -> int:
 def _cmd_batch(args) -> int:
     if _sim_with_workers(args):
         return 2
+    method = _resolve_method(args)
+    if method is None:
+        return 2
     graph = _load(args)
-    batch = batch_count(graph, args.queries, method=args.method,
-                        backend=args.backend, workers=args.workers)
-    rows = [[str(q), r.count, format_seconds(headline_seconds(r))]
+    try:
+        batch = batch_count(graph, args.queries, method=method,
+                            backend=args.backend, workers=args.workers,
+                            accuracy=args.accuracy, deadline=args.deadline)
+    except DeadlineExceededError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    rows = [[str(q),
+             f"{r.count} (+-{r.extras['ci95']:.0f})"
+             if r.algorithm == "approx" else r.count,
+             format_seconds(headline_seconds(r))]
             for q, r in zip(batch.queries, batch.results)]
     print(f"graph: {graph}")
-    print(render_table(f"{args.method} batch "
+    print(render_table(f"{method} batch "
                        f"(backend: {batch.results[0].backend})",
                        ["query", "count", "time"], rows))
     s = batch.stats
@@ -319,6 +407,9 @@ def _cmd_serve_bench(args) -> int:
     from repro.service import SchedulerConfig, WorkloadSpec, serve_bench
     from repro.service.bench import write_artifact
 
+    method = _resolve_method(args)
+    if method is None:
+        return 2
     names = [n.strip() for n in args.graphs.split(",") if n.strip()]
     known = list_datasets()
     for name in names:
@@ -336,8 +427,9 @@ def _cmd_serve_bench(args) -> int:
         clients=args.clients,
         rate_qps=args.rate,
         zipf_s=args.zipf,
-        method=args.method,
+        method=method,
         deadline=args.deadline,
+        accuracy=args.accuracy,
         seed=args.seed)
     config = SchedulerConfig(
         batch_window=args.window_ms / 1e3,
@@ -345,7 +437,8 @@ def _cmd_serve_bench(args) -> int:
         max_pending=args.max_pending,
         workers=args.sched_workers,
         backend=args.backend,
-        method=args.method)
+        method=method,
+        accuracy=args.accuracy)
     artifact = serve_bench(graphs, spec, config=config,
                            max_sessions=args.max_sessions,
                            naive_limit=args.naive_limit,
@@ -370,7 +463,7 @@ def _cmd_serve_bench(args) -> int:
           f"mean batch {tel['batches']['mean_size']:.1f} "
           f"(max {tel['batches']['max_size']}); "
           f"rejected {served['rejected']}, expired {served['expired']}, "
-          f"failed {served['failed']}")
+          f"failed {served['failed']}, approx {served['approx_served']}")
     print(f"artifact: {path}")
     if artifact["verified"]:
         mismatches = artifact["mismatches"]
@@ -378,8 +471,14 @@ def _cmd_serve_bench(args) -> int:
             print(f"error: {len(mismatches)} served count(s) differ from "
                   f"direct runs: {mismatches}", file=sys.stderr)
             return 1
-        print(f"verified: every served (graph, p, q) count is "
-              f"bit-identical to a direct {args.method} run")
+        if served["approx_served"]:
+            print(f"verified: every exact served count is bit-identical "
+                  f"to a direct {method} run; every sampling-tier "
+                  f"answer is within its reported 95% CI of the exact "
+                  f"count")
+        else:
+            print(f"verified: every served (graph, p, q) count is "
+                  f"bit-identical to a direct {method} run")
     if served["completed"] == 0:
         print("error: workload completed zero requests", file=sys.stderr)
         return 1
@@ -457,16 +556,24 @@ def _cmd_plan(args) -> int:
     graph = _load(args)
     query = BicliqueQuery(args.p, args.q)
     planner = Planner(graph, samples=args.samples, seed=args.seed)
-    ranked = planner.rank(query, backend=args.backend,
-                          workers=args.workers)
-    headers = ["rank", "method", "backend", "predicted"]
+    try:
+        ranked = planner.rank(query, backend=args.backend,
+                              workers=args.workers,
+                              accuracy=args.accuracy,
+                              deadline=args.deadline)
+    except DeadlineExceededError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    headers = ["rank", "method", "backend", "predicted", "error"]
     if args.measure:
         headers.append("measured")
     rows = []
     for position, plan in enumerate(ranked, start=1):
         marker = " <- chosen" if position == 1 else ""
+        rel = plan.signals.get("predicted_rel_error")
         row = [f"{position}{marker}", plan.method, plan.backend,
-               format_seconds(plan.predicted_seconds)]
+               format_seconds(plan.predicted_seconds),
+               "exact" if rel is None else f"~{rel * 100:.0f}%"]
         if args.measure:
             row.append(format_seconds(
                 headline_seconds(execute_plan(plan, graph, query))))
@@ -485,6 +592,19 @@ def _cmd_plan(args) -> int:
           f"est. count {signals['est_count']:.0f}, "
           f"anchored layer {signals['anchored_layer']}")
     print(f"prepared state: {', '.join(chosen.prepared)}")
+    if args.accuracy == "exact":
+        # always show what the sampling tier would buy, so the
+        # exact-vs-approx trade is visible without re-running
+        try:
+            alt = planner.rank(query, backend=args.backend,
+                               workers=args.workers,
+                               accuracy="approx")[0]
+        except (PlanError, QueryError):
+            return 0       # e.g. a pinned engine the approx tier lacks
+        rel = alt.signals["predicted_rel_error"]
+        print(f"approx tier: {alt.samples}-sample estimate predicted "
+              f"{format_seconds(alt.predicted_seconds)} "
+              f"(~{rel * 100:.0f}% rel. error) on {alt.backend}")
     return 0
 
 
@@ -506,10 +626,19 @@ def _cmd_enumerate(args) -> int:
 def _cmd_estimate(args) -> int:
     graph = _load(args)
     query = BicliqueQuery(args.p, args.q)
-    res = estimate_count(graph, query, samples=args.samples, seed=args.seed)
-    print(f"estimate: {res.estimate:.1f} (+- {res.std_error:.1f} s.e.)")
-    print(f"sampled {res.samples} of {res.population} root trees "
-          f"in {format_seconds(res.wall_seconds)}")
+    # route through the plan layer like every other entry point: the
+    # estimator is the registered "approx" method, the session reuses
+    # prepared state exactly as a served request would
+    session = GraphSession(graph)
+    plan = explicit_plan(graph, query, "approx", backend=args.backend,
+                         samples=args.samples, seed=args.seed)
+    result = execute_plan(plan, graph, query, session=session)
+    ex = result.extras
+    print(f"estimate: {ex['estimate']:.1f} (+- {ex['std_error']:.1f} s.e., "
+          f"95% CI +- {ex['ci95']:.1f})")
+    print(f"count: {result.count} (rounded), backend: {result.backend}")
+    print(f"sampled {int(ex['samples'])} of {int(ex['population'])} "
+          f"root trees in {format_seconds(result.wall_seconds)}")
     return 0
 
 

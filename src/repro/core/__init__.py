@@ -12,7 +12,8 @@ from repro.core.counts import (
     anchored_view,
 )
 from repro.core.enumerate import enumerate_bicliques
-from repro.core.estimate import EstimateResult, estimate_count
+from repro.core.estimate import (DEFAULT_SAMPLES, Z95, EstimateResult,
+                                 approx_count, estimate_count)
 from repro.core.gbc import GBCOptions, gbc_count, gbc_variant
 from repro.core.incremental import DynamicButterflyCounter
 from repro.core.localcounts import LocalCountResult, local_biclique_counts
@@ -32,7 +33,8 @@ __all__ = [
     "run_pipeline", "PipelineResult", "REORDER_METHODS",
     "brute_force_count", "brute_force_count_both_anchors",
     "enumerate_bicliques",
-    "estimate_count", "EstimateResult",
+    "estimate_count", "EstimateResult", "approx_count",
+    "DEFAULT_SAMPLES", "Z95",
     "local_biclique_counts", "LocalCountResult",
     "profile_search", "SearchTreeProfile", "LevelStats",
     "DynamicButterflyCounter",

@@ -15,6 +15,19 @@ the exact counters:
 The estimator is unbiased for any weighting (proved by linearity — each
 root's contribution is inflated by 1/(m * pi_i)); tests check exactness
 in expectation over fixed seeds and exact recovery when m = all roots.
+
+Since the approx tier became a first-class counting method the module
+has two public faces: :func:`estimate_count` returns the raw
+:class:`EstimateResult` (estimate, std_error, ci95), and
+:func:`approx_count` is the registered ``"approx"``
+:class:`~repro.plan.registry.MethodSpec` runner — a normal
+:class:`~repro.core.counts.CountResult` whose ``extras`` carry the
+(ε, δ)-style diagnostics (``estimate``/``std_error``/``ci95``/
+``samples``/``population``/``seed``), dispatchable through
+:func:`repro.plan.execute_plan` like every exact counter.  The estimate
+depends only on the seed and the per-root integer counts, never on the
+engine's timing, so one seed gives bit-identical results on every
+backend.
 """
 
 from __future__ import annotations
@@ -26,14 +39,22 @@ from math import sqrt
 import numpy as np
 
 from repro.core.bcl import BCLProfile, _enumerate_root
-from repro.core.counts import BicliqueQuery, anchored_view
+from repro.core.counts import BicliqueQuery, CountResult, anchored_view
 from repro.engine.base import KernelBackend, resolve_backend
 from repro.graph.bipartite import BipartiteGraph, LAYER_U
 from repro.graph.priority import priority_rank
 from repro.graph.twohop import build_two_hop_index
+from repro.plan.registry import CostSignals, MethodSpec, register_method
 
-__all__ = ["EstimateResult", "estimate_count", "RootProbe",
+__all__ = ["DEFAULT_SAMPLES", "EstimateResult", "Z95", "approx_cost",
+           "approx_count", "estimate_count", "RootProbe",
            "sample_root_profile"]
+
+#: z-value of the two-sided 95% normal interval ``ci95`` reports
+Z95 = 1.959963984540054
+
+#: sample budget when neither the caller nor the planner sizes one
+DEFAULT_SAMPLES = 64
 
 
 @dataclass
@@ -46,6 +67,19 @@ class EstimateResult:
     samples: int
     population: int
     wall_seconds: float
+    anchored_layer: str = LAYER_U
+
+    @property
+    def ci95(self) -> float:
+        """Half-width of the normal-approximation 95% confidence
+        interval (0.0 on the exact-recovery path, where the estimate is
+        the true count with zero variance)."""
+        return Z95 * self.std_error
+
+    def ci_bounds(self, z: float = Z95) -> tuple[float, float]:
+        """The ``estimate ± z * std_error`` interval as (low, high)."""
+        return (self.estimate - z * self.std_error,
+                self.estimate + z * self.std_error)
 
     def relative_error(self, truth: int) -> float:
         """|estimate - truth| / truth (for evaluation against exact runs)."""
@@ -55,22 +89,31 @@ class EstimateResult:
 
 
 def estimate_count(graph: BipartiteGraph, query: BicliqueQuery,
-                   samples: int = 64,
+                   samples: int = DEFAULT_SAMPLES,
                    seed: int | None = 0,
                    layer: str | None = None,
-                   backend: KernelBackend | str | None = None) -> EstimateResult:
+                   backend: KernelBackend | str | None = None,
+                   session=None) -> EstimateResult:
     """Horvitz-Thompson root-sampling estimate of the (p, q) count.
 
     With ``samples`` >= the number of promising roots the estimator runs
     every tree once and returns the exact count with zero variance.
+    ``session`` (a :class:`repro.query.GraphSession` over ``graph``)
+    serves the anchored view and two-hop index from its caches, so a
+    warm session estimates without building anything.
     """
     # the per-root profile is internal here, so the per-call breakdown
     # instrumentation is never worth its cost
     engine = resolve_backend(backend)
     start = time.perf_counter()
-    g, p, q, _ = anchored_view(graph, query, layer)
-    rank = priority_rank(g, LAYER_U, q)
-    index = build_two_hop_index(g, LAYER_U, q, min_priority_rank=rank)
+    g, p, q, anchored = anchored_view(graph, query, layer)
+    if session is not None:
+        session.check_owns(graph)
+        g = session.anchored(anchored)
+        index = session.two_hop_index(anchored, q)
+    else:
+        rank = priority_rank(g, LAYER_U, q)
+        index = build_two_hop_index(g, LAYER_U, q, min_priority_rank=rank)
     roots = [u for u in range(g.num_u)
              if g.degree(LAYER_U, u) >= q
              and (p == 1 or index.size(u) >= p - 1)]
@@ -78,14 +121,15 @@ def estimate_count(graph: BipartiteGraph, query: BicliqueQuery,
     profile = BCLProfile()
     if population == 0:
         return EstimateResult(query, 0.0, 0.0, 0, 0,
-                              time.perf_counter() - start)
+                              time.perf_counter() - start, anchored)
 
     if samples >= population:
         total = sum(_enumerate_root(g, index, r, p, q, profile, engine,
                                     instrument=False)
                     for r in roots)
         return EstimateResult(query, float(total), 0.0, population,
-                              population, time.perf_counter() - start)
+                              population, time.perf_counter() - start,
+                              anchored)
 
     # importance weights: second-level sizes (0-weight roots can still
     # carry bicliques when p == 1, so floor at 1)
@@ -106,7 +150,83 @@ def estimate_count(graph: BipartiteGraph, query: BicliqueQuery,
     std_error = float(contributions.std(ddof=1) / sqrt(samples)) \
         if samples > 1 else 0.0
     return EstimateResult(query, estimate, std_error, samples, population,
-                          time.perf_counter() - start)
+                          time.perf_counter() - start, anchored)
+
+
+def approx_count(graph: BipartiteGraph, query: BicliqueQuery,
+                 backend: KernelBackend | str | None = None,
+                 session=None,
+                 layer: str | None = None,
+                 samples: int | None = None,
+                 seed: int | None = 0) -> CountResult:
+    """The registered ``"approx"`` method: a sampled count as a
+    :class:`~repro.core.counts.CountResult`.
+
+    ``count`` is the rounded Horvitz-Thompson estimate; the sampling
+    diagnostics ride in ``extras`` — ``estimate``, ``std_error``,
+    ``ci95`` (the 95% half-width), ``samples``, ``population`` and the
+    ``seed`` that makes the run bit-reproducible.  ``samples=None``
+    (and a plan without a budget) falls back to
+    :data:`DEFAULT_SAMPLES`; ``seed=None`` pins seed 0 rather than
+    letting numpy draw an irreproducible one.
+    """
+    samples = DEFAULT_SAMPLES if samples is None else int(samples)
+    seed = 0 if seed is None else int(seed)
+    est = estimate_count(graph, query, samples=samples, seed=seed,
+                         layer=layer, backend=backend, session=session)
+    engine = resolve_backend(backend)
+    return CountResult(
+        algorithm="approx",
+        query=query,
+        count=int(round(est.estimate)),
+        wall_seconds=est.wall_seconds,
+        anchored_layer=est.anchored_layer,
+        extras={
+            "estimate": est.estimate,
+            "std_error": est.std_error,
+            "ci95": est.ci95,
+            "samples": float(est.samples),
+            "population": float(est.population),
+            "seed": float(seed),
+        },
+        backend=engine.name,
+        backend_instrumented=engine.instrumented,
+    )
+
+
+def approx_cost(signals: CostSignals, samples: int) -> float:
+    """Predicted seconds for an approx run with this sample budget.
+
+    The distinct-root cache bounds the enumerated work by
+    ``min(samples, population)`` trees, so the predicted enumeration is
+    the exact priority-order total scaled by that fraction, on top of
+    the same priority prepare every priority-ordered counter pays.
+    """
+    population = max(signals.population, 1)
+    fraction = min(1.0, samples / population)
+    enum = signals.enum_seconds(signals.merge_calls,
+                                signals.comparisons) * fraction
+    return signals.priority_prepare_seconds() + enum
+
+
+def _predicted_seconds(signals: CostSignals) -> float:
+    return approx_cost(signals, DEFAULT_SAMPLES)
+
+
+register_method(MethodSpec(
+    name="approx",
+    runner=approx_count,
+    accepts=("backend", "session", "layer", "samples", "seed"),
+    # the estimator is serial by construction (one rng stream); sharding
+    # it would change which roots are drawn and break seed-reproducibility
+    supports_partitioned=False,
+    approximate=True,
+    prepared_kinds=("wedges", "order", "two_hop"),
+    cost=_predicted_seconds,
+    order=90,
+    summary="Horvitz-Thompson root sampling with ci95 error bars "
+            "(the butterfly-estimation lineage, [36]/[33])",
+))
 
 
 # ---------------------------------------------------------------------------

@@ -217,7 +217,8 @@ class SnapshotSession:
     def count(self, query: BicliqueQuery | tuple, method: str = "GBC", *,
               backend=None, workers: int | None = None,
               layer: str | None = None, options=None, threads: int = 16,
-              use_cache: bool = True) -> CountResult:
+              use_cache: bool = True, accuracy: str = "exact",
+              deadline: float | None = None) -> CountResult:
         """Count one query at this pinned epoch.
 
         Mirrors :meth:`repro.query.GraphSession.count` (the scheduler
@@ -225,7 +226,10 @@ class SnapshotSession:
         options override is answered from the pinned count table as a
         synthesised zero-work result with ``algorithm="delta"`` —
         counts are method-invariant, so the requested method only
-        matters for *how* an untracked shape is recomputed.
+        matters for *how* an untracked shape is recomputed.  A tracked
+        shape is exact at zero cost, so it satisfies every accuracy
+        tier and any deadline; untracked shapes forward
+        ``accuracy``/``deadline`` to the inner session.
         """
         if not isinstance(query, BicliqueQuery):
             query = BicliqueQuery(int(query[0]), int(query[1]))
@@ -243,7 +247,8 @@ class SnapshotSession:
         result = self.session.count(query, method, backend=backend,
                                     workers=workers, layer=layer,
                                     options=options, threads=threads,
-                                    use_cache=use_cache)
+                                    use_cache=use_cache, accuracy=accuracy,
+                                    deadline=deadline)
         # cached CountResult objects are shared across hits; setdefault
         # keeps the stamp idempotent and thread-safe
         result.extras.setdefault("epoch", float(self.epoch))

@@ -40,17 +40,21 @@ from repro.plan.execute import (execute_plan, explicit_plan, plan_query,
                                 warm_session)
 from repro.plan.ir import CountPlan
 from repro.plan.planner import Planner, prepared_keys
-from repro.plan.registry import (AUTO, CostSignals, MethodSpec,
-                                 auto_candidates, ensure_known, get_method,
+from repro.plan.registry import (ACCURACIES, AUTO, CostSignals, MethodSpec,
+                                 approx_candidates, auto_candidates,
+                                 ensure_accuracy, ensure_known, get_method,
                                  method_names, register_method)
 
 __all__ = [
+    "ACCURACIES",
     "AUTO",
     "CostSignals",
     "CountPlan",
     "MethodSpec",
     "Planner",
+    "approx_candidates",
     "auto_candidates",
+    "ensure_accuracy",
     "ensure_known",
     "execute_plan",
     "explicit_plan",

@@ -12,7 +12,7 @@ counter to be reachable from every layer.
 from __future__ import annotations
 
 from repro.engine.base import KernelBackend, resolve_backend
-from repro.errors import PlanError
+from repro.errors import PlanError, QueryError
 from repro.plan.ir import CountPlan
 from repro.plan.planner import Planner, prepared_keys
 from repro.plan.registry import AUTO, get_method
@@ -27,14 +27,18 @@ _DEFAULT_PROBE = (8, 0, 16)
 
 def explicit_plan(graph, query, method: str, *,
                   backend=None, workers: int | None = None,
-                  layer: str | None = None) -> CountPlan:
+                  layer: str | None = None,
+                  samples: int | None = None,
+                  seed: int | None = None) -> CountPlan:
     """A plan for an explicitly named method — no probe, no ranking.
 
     ``backend=None`` keeps the historical default of every entry point
     (the instrumented simulated engine); ``workers=`` implies the
     parallel engine exactly as :func:`repro.engine.base.resolve_backend`
-    does.  Raises :class:`~repro.errors.UnknownMethodError` for names
-    not in the registry.
+    does.  ``samples``/``seed`` pin the approx tier's estimator budget
+    and stream on the plan (exact methods ignore them).  Raises
+    :class:`~repro.errors.UnknownMethodError` for names not in the
+    registry.
     """
     mspec = get_method(method)
     if isinstance(backend, KernelBackend):
@@ -56,6 +60,8 @@ def explicit_plan(graph, query, method: str, *,
                                backend=backend_name),
         source="explicit",
         reason=f"explicitly requested {method}",
+        samples=None if samples is None else int(samples),
+        seed=None if seed is None else int(seed),
     )
 
 
@@ -63,7 +69,9 @@ def plan_query(graph, query, method: str = "GBC", *,
                backend=None, workers: int | None = None,
                layer: str | None = None, session=None, spec=None,
                samples: int = 8, seed: int = 0,
-               threads: int = 16) -> CountPlan:
+               threads: int = 16,
+               accuracy: str = "exact",
+               deadline: float | None = None) -> CountPlan:
     """Turn a (possibly ``"auto"``) method request into a
     :class:`~repro.plan.ir.CountPlan`.
 
@@ -74,17 +82,27 @@ def plan_query(graph, query, method: str = "GBC", *,
     plan cache — so repeated auto calls over one graph probe each
     (p, q) shape exactly once; custom probe settings fall back to a
     fresh planner that still probes through the session's warm
-    prepared state.
+    prepared state.  ``accuracy``/``deadline`` select the service tier
+    for planned (``"auto"``) requests exactly as
+    :meth:`~repro.plan.planner.Planner.rank` documents; ``samples``
+    here sizes the cost *probe* — the estimator's own budget lives on
+    the returned plan.
     """
-    if method == AUTO:
+    if method == AUTO or accuracy != "exact":
+        if method != AUTO and method != "approx":
+            raise QueryError(
+                f"accuracy={accuracy!r} plans the method itself; pass "
+                f"method='auto' (got explicit method {method!r})")
         if session is not None \
                 and (samples, seed, threads) == _DEFAULT_PROBE:
             return session.plan(query, backend=backend, workers=workers,
-                                layer=layer)
+                                layer=layer, accuracy=accuracy,
+                                deadline=deadline)
         planner = Planner(graph, spec=spec, session=session,
                           samples=samples, seed=seed, threads=threads)
         return planner.plan(query, backend=backend, workers=workers,
-                            layer=layer)
+                            layer=layer, accuracy=accuracy,
+                            deadline=deadline)
     return explicit_plan(graph, query, method, backend=backend,
                          workers=workers, layer=layer)
 
@@ -160,6 +178,8 @@ def execute_plan(plan: CountPlan, graph, query=None, *,
         "spec": spec,
         "options": options,
         "threads": threads,
+        "samples": plan.samples,
+        "seed": plan.seed,
     }
     kwargs = {name: value for name, value in available.items()
               if name in mspec.accepts}

@@ -46,6 +46,12 @@ class CountPlan:
     #: serialisable probe summary (population, comparisons, est_count,
     #: ...) for explain output and artifacts; empty for explicit plans
     signals: dict = field(default_factory=dict)
+    #: approx-tier sample budget (None = the estimator's default; the
+    #: planner sizes this from the cost model under a deadline)
+    samples: int | None = None
+    #: approx-tier estimator seed — pinned on the plan so a served
+    #: estimate is bit-reproducible from its plan alone
+    seed: int | None = None
 
     def __post_init__(self) -> None:
         if self.method == "auto":
@@ -79,6 +85,8 @@ class CountPlan:
             "source": self.source,
             "reason": self.reason,
             "signals": dict(self.signals),
+            "samples": self.samples,
+            "seed": self.seed,
         }
 
     @classmethod

@@ -31,7 +31,7 @@ from __future__ import annotations
 from collections import OrderedDict
 
 from repro.engine.base import BACKEND_NAMES, KernelBackend
-from repro.errors import PlanError, QueryError
+from repro.errors import DeadlineExceededError, PlanError, QueryError
 from repro.graph.bipartite import LAYER_U, LAYER_V
 from repro.graph.priority import select_layer, wedge_mass
 from repro.graph.stats import cached_stats, graph_fingerprint
@@ -39,11 +39,21 @@ from repro.plan.ir import CountPlan
 from repro.plan.registry import (
     CostSignals,
     MethodSpec,
+    approx_candidates,
     auto_backends,
     auto_candidates,
+    ensure_accuracy,
+    get_method,
 )
 
 __all__ = ["Planner", "prepared_keys"]
+
+#: smallest sample budget the planner will size under a deadline — below
+#: this the std_error is too noisy to mean anything
+MIN_APPROX_SAMPLES = 8
+#: fraction of a deadline the sized budget may spend: headroom for
+#: queueing, prediction error, and the answer's delivery
+DEADLINE_SAFETY = 0.5
 
 
 def prepared_keys(mspec: MethodSpec, graph, query,
@@ -253,7 +263,9 @@ class Planner:
 
     # -- planning -------------------------------------------------------
     def rank(self, query, backend=None, workers: int | None = None,
-             layer: str | None = None) -> list[CountPlan]:
+             layer: str | None = None, *,
+             accuracy: str = "exact",
+             deadline: float | None = None) -> list[CountPlan]:
         """Every eligible candidate plan, cheapest predicted first.
 
         ``backend=None`` leaves the engine to the planner: it prices
@@ -266,12 +278,44 @@ class Planner:
         the methods *under* that engine, which changes the winners —
         on ``sim`` the headline is simulated device seconds, so the
         device methods dominate.
+
+        ``accuracy`` selects the tier: ``"exact"`` (default) ranks the
+        exact counters and — when a ``deadline`` is given — raises
+        :class:`~repro.errors.DeadlineExceededError` if even the best
+        exact candidate's prediction blows it; ``"approx"`` ranks the
+        sampling tier, its per-plan sample budget sized from the cost
+        model so the predicted run fits the deadline; ``"auto"`` serves
+        exact when it fits and falls back to the approx tier otherwise
+        — the paper's per-request deadlines as a planning constraint
+        instead of a failure mode.
         """
+        ensure_accuracy(accuracy)
+        if deadline is not None and deadline <= 0:
+            raise PlanError(f"deadline must be > 0 seconds, got {deadline}")
         pinned = _backend_name(backend, workers)
         if pinned == "sim" and workers is not None:
             raise QueryError("workers= requires the parallel engine; the "
                              "simulated engine's accounting is serial")
         engine_names = auto_backends() if pinned is None else (pinned,)
+        if accuracy == "approx":
+            return self._approx_rank(query, engine_names, workers, layer,
+                                     deadline)
+        plans = self._exact_rank(query, engine_names, workers, layer)
+        if deadline is not None \
+                and plans[0].predicted_seconds > deadline:
+            if accuracy == "auto":
+                return self._approx_rank(query, engine_names, workers,
+                                         layer, deadline)
+            raise DeadlineExceededError(
+                f"best exact plan ({plans[0].method} on "
+                f"{plans[0].backend}) predicts "
+                f"{plans[0].predicted_seconds:.3g}s against a "
+                f"{deadline:.3g}s deadline; retry with accuracy='approx' "
+                f"or 'auto' to trade precision for latency")
+        return plans
+
+    def _exact_rank(self, query, engine_names, workers: int | None,
+                    layer: str | None) -> list[CountPlan]:
         plans: list[tuple] = []
         for eng_pos, engine_name in enumerate(engine_names):
             signals = self.signals(query, backend=engine_name,
@@ -318,12 +362,117 @@ class Planner:
         plans.sort(key=lambda item: (item[0], item[1], item[2]))
         return [plan for _, _, _, plan in plans]
 
+    def _approx_rank(self, query, engine_names, workers: int | None,
+                     layer: str | None,
+                     deadline: float | None) -> list[CountPlan]:
+        from repro.core.estimate import approx_cost
+
+        candidates = approx_candidates()
+        plans: list[tuple] = []
+        for eng_pos, engine_name in enumerate(engine_names):
+            if engine_name == "par":
+                # the estimator's root loop is serial; pricing it with
+                # the sharded engine's speedup would be a lie
+                continue
+            signals = self.signals(query, backend=engine_name,
+                                   workers=workers, layer=layer)
+            for position, mspec in enumerate(candidates):
+                if layer is not None and not mspec.supports_layer:
+                    continue
+                samples = self._approx_budget(signals, deadline)
+                predicted = float(approx_cost(signals, samples))
+                population = max(signals.population, 1)
+                rel_error = (1.0 / samples ** 0.5
+                             if samples < population else 0.0)
+                reason = (f"{samples}-sample HT estimate (seed "
+                          f"{self.seed}), predicted {predicted:.3g}s on "
+                          f"{engine_name}")
+                if deadline is not None:
+                    # the MIN_APPROX_SAMPLES floor can overshoot a
+                    # deadline no budget fits; say which happened
+                    reason += (
+                        f" within the {deadline:.3g}s deadline"
+                        if predicted <= deadline else
+                        f" (best effort: the {MIN_APPROX_SAMPLES}-sample "
+                        f"floor overruns the {deadline:.3g}s deadline)")
+                plans.append((predicted, eng_pos, position, CountPlan(
+                    method=mspec.name, p=query.p, q=query.q,
+                    backend=engine_name, workers=None, layer=layer,
+                    prepared=prepared_keys(mspec, self.graph, query,
+                                           layer, backend=engine_name),
+                    predicted_seconds=predicted,
+                    source="auto",
+                    reason=reason,
+                    signals={
+                        "population": signals.population,
+                        "basic_population": signals.basic_population,
+                        "comparisons": signals.comparisons,
+                        "basic_comparisons": signals.basic_comparisons,
+                        "mean_index_size": signals.mean_index_size,
+                        "est_count": signals.est_count,
+                        "wedge_ops": signals.wedge_ops,
+                        "degree_skew": signals.degree_skew,
+                        "anchored_layer": signals.anchored_layer,
+                        "samples": samples,
+                        "predicted_rel_error": rel_error,
+                    },
+                    samples=samples,
+                    seed=self.seed,
+                )))
+        if not plans:
+            raise PlanError(f"no approximate method can run on backend "
+                            f"{engine_names[0]!r}; the approx tier is "
+                            f"serial (fast/sim/native)")
+        plans.sort(key=lambda item: (item[0], item[1], item[2]))
+        return [plan for _, _, _, plan in plans]
+
+    def _approx_budget(self, signals: CostSignals,
+                       deadline: float | None) -> int:
+        """Sample budget sized so the predicted estimate fits the
+        deadline (the estimator's default budget when there is none)."""
+        from repro.core.estimate import DEFAULT_SAMPLES
+
+        population = max(signals.population, 1)
+        if deadline is None:
+            return DEFAULT_SAMPLES
+        per_root = signals.enum_seconds(signals.merge_calls,
+                                        signals.comparisons) / population
+        budget = deadline * DEADLINE_SAFETY \
+            - signals.priority_prepare_seconds()
+        if per_root <= 0.0:
+            samples = population
+        elif budget <= 0.0:
+            samples = MIN_APPROX_SAMPLES
+        else:
+            samples = int(budget / per_root)
+        return max(MIN_APPROX_SAMPLES, min(samples, population))
+
     def plan(self, query, backend=None, workers: int | None = None,
-             layer: str | None = None) -> CountPlan:
+             layer: str | None = None, *,
+             accuracy: str = "exact",
+             deadline: float | None = None) -> CountPlan:
         """The cheapest candidate of :meth:`rank` — what ``method="auto"``
         executes."""
         return self.rank(query, backend=backend, workers=workers,
-                         layer=layer)[0]
+                         layer=layer, accuracy=accuracy,
+                         deadline=deadline)[0]
+
+    def predict(self, query, method: str, backend=None,
+                workers: int | None = None,
+                layer: str | None = None) -> float:
+        """Predicted headline seconds for one explicitly named method.
+
+        What the scheduler's deadline admission uses for requests that
+        pin a method instead of planning: methods without a cost hook
+        (the ablation variants) predict 0.0, i.e. are always admitted.
+        """
+        mspec = get_method(method)
+        if mspec.cost is None:
+            return 0.0
+        engine_name = _backend_name(backend, workers) or "fast"
+        signals = self.signals(query, backend=engine_name,
+                               workers=workers, layer=layer)
+        return float(mspec.cost(signals))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"Planner({self.graph!r}, samples={self.samples}, "

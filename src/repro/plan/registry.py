@@ -26,12 +26,16 @@ from typing import Any, Callable
 from repro.errors import UnknownMethodError
 
 __all__ = [
+    "ACCURACIES",
     "AUTO",
     "BackendCostModel",
     "CostSignals",
     "MethodSpec",
+    "approx_candidates",
     "auto_backends",
+    "auto_candidates",
     "backend_cost",
+    "ensure_accuracy",
     "ensure_known",
     "get_method",
     "method_names",
@@ -41,6 +45,27 @@ __all__ = [
 
 #: the reserved method name that asks the planner to choose
 AUTO = "auto"
+
+#: the accuracy tiers every ``accuracy=`` seam accepts: ``"exact"``
+#: (only exact counters; a deadline the planner cannot meet raises),
+#: ``"approx"`` (the sampling tier answers, with error bars), and
+#: ``"auto"`` (exact when it fits the deadline, approx otherwise)
+ACCURACIES = ("exact", "approx", "auto")
+
+
+def ensure_accuracy(accuracy: str) -> str:
+    """Validate an ``accuracy=`` argument at an API boundary.
+
+    Raises :class:`~repro.errors.QueryError` (via the import below) for
+    anything outside :data:`ACCURACIES`; returns the value unchanged so
+    boundaries can validate inline.
+    """
+    if accuracy not in ACCURACIES:
+        from repro.errors import QueryError
+
+        raise QueryError(f"accuracy must be one of {ACCURACIES}, "
+                         f"got {accuracy!r}")
+    return accuracy
 
 # ---------------------------------------------------------------------------
 # calibration constants for the cost hooks
@@ -252,6 +277,11 @@ class MethodSpec:
     prepared_kinds: tuple[str, ...] = ("wedges", "order", "two_hop")
     #: a paper-ablation variant, excluded from method="auto" candidates
     ablation: bool = False
+    #: a sampling-based estimator: excluded from the exact ``auto``
+    #: ranking, ranked instead by the planner's approx tier
+    #: (``accuracy="approx"`` / a deadline no exact plan can meet);
+    #: results carry ``extras["ci95"]``-style error reporting
+    approximate: bool = False
     #: predicted headline seconds from probe signals (None = never
     #: chosen automatically)
     cost: Callable[[CostSignals], float] | None = None
@@ -267,6 +297,8 @@ class MethodSpec:
 _REGISTRY: dict[str, MethodSpec] = {}
 _CORE_MODULES = ("repro.core.basic", "repro.core.bcl", "repro.core.bclp",
                  "repro.core.gbl", "repro.core.gbc",
+                 # the sampling estimator registers the "approx" tier
+                 "repro.core.estimate",
                  # the native engine registers its BackendCostModel (and
                  # thereby its planner eligibility) at import time, the
                  # same self-registration pattern the counters use
@@ -335,6 +367,17 @@ def ensure_known(name: str, allow_auto: bool = False) -> str:
 
 def auto_candidates() -> tuple[MethodSpec, ...]:
     """The methods ``method="auto"`` chooses between: every registered
-    spec with a cost hook that is not an ablation variant."""
+    spec with a cost hook that is neither an ablation variant nor an
+    approximate estimator (sampling never silently replaces an exact
+    answer — the approx tier is opt-in via ``accuracy=`` or a deadline
+    the exact candidates cannot meet)."""
     return tuple(spec for spec in _ordered()
-                 if spec.cost is not None and not spec.ablation)
+                 if spec.cost is not None and not spec.ablation
+                 and not spec.approximate)
+
+
+def approx_candidates() -> tuple[MethodSpec, ...]:
+    """The sampling tier's candidates: registered approximate specs
+    with a cost hook, in listing order."""
+    return tuple(spec for spec in _ordered()
+                 if spec.cost is not None and spec.approximate)

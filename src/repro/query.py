@@ -62,7 +62,9 @@ from repro.graph.priority import priority_order_from_sizes, rank_from_order
 from repro.graph.stats import graph_fingerprint
 from repro.graph.twohop import TwoHopIndex, WedgeIndex, build_wedge_index
 from repro.htb.htb import HTB, htb_from_graph, htb_from_two_hop
-from repro.plan import AUTO, CountPlan, Planner, execute_plan, explicit_plan
+from repro.errors import DeadlineExceededError
+from repro.plan import (AUTO, CountPlan, Planner, ensure_accuracy,
+                        execute_plan, explicit_plan)
 
 __all__ = ["GraphSession", "SessionStats", "ResultCache", "BatchResult",
            "batch_count", "parse_queries", "graph_fingerprint"]
@@ -415,10 +417,19 @@ class GraphSession:
             return True
 
     # -- planning ------------------------------------------------------
+    def _get_planner(self) -> Planner:
+        with self._lock:
+            if self._planner is None:
+                self._planner = Planner(self._graph, spec=self.spec,
+                                        session=self)
+            return self._planner
+
     def plan(self, query: BicliqueQuery, *,
              backend: KernelBackend | str | None = None,
              workers: int | None = None,
-             layer: str | None = None) -> CountPlan:
+             layer: str | None = None,
+             accuracy: str = "exact",
+             deadline: float | None = None) -> CountPlan:
         """The cost-based plan for one query shape, cached per shape.
 
         Planning runs once per (graph, shape-class) — the (p, q) shape
@@ -426,21 +437,28 @@ class GraphSession:
         every later query of that shape on this session, so a mixed
         batch or serving workload pays one probe per distinct shape.
         The probe itself runs through this session, reusing (and
-        warming) the shared prepared state.
+        warming) the shared prepared state.  ``accuracy``/``deadline``
+        select the tier as :meth:`repro.plan.planner.Planner.rank`
+        documents; deadlines are request-specific wall-clock budgets,
+        so deadline-carrying plans bypass the per-shape cache.
         """
         backend_key = backend.name if isinstance(backend, KernelBackend) \
             else backend
-        key = (query.p, query.q, backend_key, workers, layer)
+        planner = self._get_planner()
+        if deadline is not None:
+            # a deadline is per-request: what fits one request's budget
+            # must not decide another's, so no cache on either side
+            return planner.plan(query, backend=backend, workers=workers,
+                                layer=layer, accuracy=accuracy,
+                                deadline=deadline)
+        key = (query.p, query.q, backend_key, workers, layer, accuracy)
         with self._lock:
             got = self._plans.get(key)
             if got is not None:
                 return got
-            if self._planner is None:
-                self._planner = Planner(self._graph, spec=self.spec,
-                                        session=self)
         # probe outside the lock: it may run sampled roots
-        plan = self._planner.plan(query, backend=backend, workers=workers,
-                                  layer=layer)
+        plan = planner.plan(query, backend=backend, workers=workers,
+                            layer=layer, accuracy=accuracy)
         with self._lock:
             return self._plans.setdefault(key, plan)
 
@@ -451,7 +469,9 @@ class GraphSession:
               layer: str | None = None,
               options: GBCOptions | None = None,
               threads: int = 16,
-              use_cache: bool = True) -> CountResult:
+              use_cache: bool = True,
+              accuracy: str = "exact",
+              deadline: float | None = None) -> CountResult:
         """Run one counting query against the session's shared state.
 
         Results are memoised in :attr:`results` under ``(fingerprint,
@@ -469,43 +489,93 @@ class GraphSession:
         probe per query shape, cached); the resolved plan supplies the
         method — and, when no backend was named, the engine — so auto
         runs share the result cache with their explicit equivalents.
+
+        ``accuracy="approx"`` plans the sampling tier (the result's
+        ``extras`` carry ``estimate``/``std_error``/``ci95``/
+        ``samples``); ``"auto"`` serves exact when it fits and falls
+        back to approx when a ``deadline`` makes exact infeasible.
+        With ``accuracy="exact"`` a ``deadline`` is a hard admission
+        bound: a predicted overrun raises
+        :class:`~repro.errors.DeadlineExceededError` before any work
+        runs.
         """
-        if method == AUTO:
+        ensure_accuracy(accuracy)
+        chosen: CountPlan | None = None
+        if accuracy != "exact" and method not in (AUTO, "approx"):
+            raise QueryError(
+                f"accuracy={accuracy!r} lets the planner choose the "
+                f"method; pass method='auto' (got {method!r})")
+        if accuracy == "approx":
             chosen = self.plan(query, backend=backend, workers=workers,
-                               layer=layer)
+                               layer=layer, accuracy="approx",
+                               deadline=deadline)
+        elif method == AUTO:
+            chosen = self.plan(query, backend=backend, workers=workers,
+                               layer=layer, accuracy=accuracy,
+                               deadline=deadline)
+        elif deadline is not None:
+            predicted = self._get_planner().predict(
+                query, method, backend=backend, workers=workers,
+                layer=layer)
+            if predicted > deadline:
+                if accuracy == "auto":
+                    chosen = self.plan(query, backend=backend,
+                                       workers=workers, layer=layer,
+                                       accuracy="approx",
+                                       deadline=deadline)
+                else:
+                    raise DeadlineExceededError(
+                        f"{method} predicts {predicted:.3g}s against a "
+                        f"{deadline:.3g}s deadline; retry with "
+                        f"accuracy='approx' or 'auto'")
+        if chosen is not None:
             method = chosen.method
             if backend is None:
                 backend = chosen.backend
                 workers = chosen.workers if workers is None \
                     else workers
         engine = resolve_backend(backend, self.spec, workers=workers)
+        if method == "approx":
+            # estimates are keyed by their (samples, seed) budget: two
+            # different budgets are different answers, not a cache hit
+            approx_key = (chosen.samples, chosen.seed) \
+                if chosen is not None else (None, None)
+        else:
+            approx_key = None
         key = (self._fingerprint, method, query.p, query.q, engine.name,
                # "par" results carry worker-dependent timings, so each
                # worker count is its own cache entry (counts are
                # worker-invariant, timing/shard fields are not)
                getattr(engine, "workers", None),
                layer, None if options is None else repr(options),
-               threads if method == "BCLP" else None)
+               threads if method == "BCLP" else None,
+               approx_key)
         if use_cache:
             hit = self.results.get(key)
             if hit is not None:
                 return hit
         result = self._dispatch(method, query, engine, layer, options,
-                                threads)
+                                threads,
+                                samples=None if chosen is None
+                                else chosen.samples,
+                                seed=None if chosen is None
+                                else chosen.seed)
         if use_cache:
             self.results.put(key, result)
         return result
 
     def _dispatch(self, method: str, query: BicliqueQuery,
                   engine: KernelBackend, layer: str | None,
-                  options: GBCOptions | None, threads: int) -> CountResult:
+                  options: GBCOptions | None, threads: int,
+                  samples: int | None = None,
+                  seed: int | None = None) -> CountResult:
         # repro.plan.execute_plan is the one dispatch site for the whole
         # repo; an unregistered name raises UnknownMethodError (a
         # QueryError) from explicit_plan before anything runs
         plan = explicit_plan(self._graph, query, method,
                              backend=engine,
                              workers=getattr(engine, "workers", None),
-                             layer=layer)
+                             layer=layer, samples=samples, seed=seed)
         return execute_plan(plan, self._graph, query, session=self,
                             spec=self.spec, backend=engine,
                             options=options, threads=threads)
@@ -540,7 +610,9 @@ def batch_count(graph: BipartiteGraph | GraphSession,
                 spec=None,
                 options: GBCOptions | None = None,
                 threads: int = 16,
-                use_cache: bool = True) -> BatchResult:
+                use_cache: bool = True,
+                accuracy: str = "exact",
+                deadline: float | None = None) -> BatchResult:
     """Evaluate a batch of (p, q) queries with shared precomputation.
 
     ``graph`` may be a raw :class:`~repro.graph.bipartite.BipartiteGraph`
@@ -555,7 +627,9 @@ def batch_count(graph: BipartiteGraph | GraphSession,
     cost-based planner, which plans once per distinct query shape and
     shares the session's prepared state across the batch per the
     chosen plan's requirements), ``backend``/``workers`` the execution
-    engine, ``layer`` pins the anchored layer.
+    engine, ``layer`` pins the anchored layer, and
+    ``accuracy``/``deadline`` select the service tier per query exactly
+    as :meth:`GraphSession.count` documents.
 
     The expensive per-graph structures — wedge enumeration, reorder
     permutation, two-hop index, HTB — are built at most once per
@@ -590,7 +664,8 @@ def batch_count(graph: BipartiteGraph | GraphSession,
     hits0, misses0 = session.results.hits, session.results.misses
     results = [session.count(q, method, backend=backend, workers=workers,
                              layer=layer, options=options, threads=threads,
-                             use_cache=use_cache)
+                             use_cache=use_cache, accuracy=accuracy,
+                             deadline=deadline)
                for q in parsed]
     return BatchResult(
         queries=parsed,

@@ -76,15 +76,33 @@ def verify_served(graphs: dict[str, BipartiteGraph],
 
     resolve = _method_resolver(graphs, result.spec.method, backend)
     served_counts: dict[tuple[str, int, int], set[int]] = {}
+    served_approx: dict[tuple[str, int, int], list] = {}
     for s in result.served:
-        served_counts.setdefault((s.graph, s.p, s.q), set()).add(s.count)
+        if s.ci95 is None:
+            served_counts.setdefault((s.graph, s.p, s.q), set()).add(s.count)
+        else:
+            served_approx.setdefault((s.graph, s.p, s.q), []).append(s)
     mismatches = []
+    directs: dict[tuple[str, int, int], int] = {}
+    for key in sorted(set(served_counts) | set(served_approx)):
+        name, p, q = key
+        directs[key] = run_method(resolve(name, p, q), graphs[name],
+                                  BicliqueQuery(p, q), backend=backend).count
     for (name, p, q), counts in sorted(served_counts.items()):
-        direct = run_method(resolve(name, p, q), graphs[name],
-                            BicliqueQuery(p, q), backend=backend).count
+        direct = directs[(name, p, q)]
         if counts != {direct}:
             mismatches.append({"graph": name, "p": p, "q": q,
                                "served": sorted(counts), "direct": direct})
+    # sampling-tier answers are held to the precision they reported:
+    # the estimate must land within its own ci95 of the exact count
+    # (+0.5 for the integer rounding of the reported count)
+    for (name, p, q), items in sorted(served_approx.items()):
+        direct = directs[(name, p, q)]
+        for s in items:
+            if abs(s.count - direct) > s.ci95 + 0.5:
+                mismatches.append({"graph": name, "p": p, "q": q,
+                                   "served": s.count, "ci95": s.ci95,
+                                   "direct": direct, "tier": "approx"})
     return mismatches
 
 
@@ -149,6 +167,7 @@ def serve_bench(graphs: dict[str, BipartiteGraph],
             "max_pending": config.max_pending,
             "workers": config.workers,
             "backend": config.backend,
+            "accuracy": config.accuracy,
         },
         "pool": pool.snapshot(),
         "served": result.as_dict(),

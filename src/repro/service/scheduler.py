@@ -40,7 +40,7 @@ from dataclasses import dataclass, field
 from repro.core.counts import BicliqueQuery, CountResult
 from repro.errors import (DeadlineExceededError, QueueFullError,
                           ServiceClosedError, ServiceError)
-from repro.plan import ensure_known
+from repro.plan import ensure_accuracy, ensure_known
 from repro.service.pool import SessionPool
 from repro.service.telemetry import Telemetry
 
@@ -67,9 +67,15 @@ class SchedulerConfig:
     #: default counting method for requests that do not name one;
     #: ``"auto"`` lets the pooled session's planner pick per shape
     method: str = "GBC"
+    #: default service tier for requests that do not name one:
+    #: "exact" treats a deadline as a hard admission bound, "approx"
+    #: always serves the sampling tier, "auto" falls back to sampling
+    #: when a deadline makes every exact plan infeasible
+    accuracy: str = "exact"
 
     def __post_init__(self) -> None:
         ensure_known(self.method, allow_auto=True)
+        ensure_accuracy(self.accuracy)
         if self.batch_window < 0:
             raise ServiceError(
                 f"batch_window must be >= 0, got {self.batch_window}")
@@ -86,6 +92,7 @@ class SchedulerConfig:
 class _Request:
     query: BicliqueQuery
     method: str
+    accuracy: str
     future: Future
     submitted_at: float
     deadline_at: float | None   # absolute monotonic, None = no deadline
@@ -120,7 +127,7 @@ class Scheduler:
         self.config = config or SchedulerConfig(**overrides)
         self.telemetry = telemetry or Telemetry()
         self._cond = threading.Condition()
-        self._buckets: dict[tuple[str, str], _Bucket] = {}
+        self._buckets: dict[tuple[str, str, str], _Bucket] = {}
         self._pending = 0
         self._closed = False
         self._drain = True
@@ -134,7 +141,8 @@ class Scheduler:
     # -- client API ----------------------------------------------------
     def submit(self, graph: str, p: int | BicliqueQuery,
                q: int | None = None, *, method: str | None = None,
-               deadline: float | None = None) -> "Future[CountResult]":
+               deadline: float | None = None,
+               accuracy: str | None = None) -> "Future[CountResult]":
         """Enqueue one count request; returns its future immediately.
 
         ``graph`` is a name registered on the pool; ``p``/``q`` are the
@@ -142,7 +150,13 @@ class Scheduler:
         :class:`~repro.core.counts.BicliqueQuery`); ``deadline`` is a
         budget in seconds — if no worker has started the request when it
         lapses, the future fails with
-        :class:`~repro.errors.DeadlineExceededError`.
+        :class:`~repro.errors.DeadlineExceededError`, and the budget
+        remaining at execution is passed through to
+        :meth:`repro.query.GraphSession.count` as a planning
+        constraint.  ``accuracy`` overrides the config default per
+        request: under ``"auto"`` a deadline no exact plan fits is
+        served by the sampling tier instead of expiring, with
+        ``extras["ci95"]`` reporting the precision bought.
 
         Raises :class:`~repro.errors.QueueFullError` when ``max_pending``
         requests are already queued,
@@ -158,11 +172,26 @@ class Scheduler:
         if deadline is not None and deadline <= 0:
             raise ServiceError(f"deadline must be > 0 seconds, "
                                f"got {deadline}")
+        resolved_accuracy = ensure_accuracy(accuracy or self.config.accuracy)
+        resolved_method = ensure_known(method or self.config.method,
+                                       allow_auto=True)
+        if resolved_accuracy != "exact" \
+                and resolved_method not in ("auto", "approx"):
+            # a non-exact tier plans the method itself; an un-asked-for
+            # exact default (config or omitted arg) silently upgrades,
+            # but an explicitly named exact method is a contradiction
+            # the caller must resolve — fail at admission, not in a
+            # worker batch
+            if method is not None:
+                raise ServiceError(
+                    f"accuracy={resolved_accuracy!r} plans the method "
+                    f"itself; drop method={method!r} or pass 'auto'")
+            resolved_method = "auto"
         now = time.monotonic()
         req = _Request(
             query=query,
-            method=ensure_known(method or self.config.method,
-                                allow_auto=True),
+            method=resolved_method,
+            accuracy=resolved_accuracy,
             future=Future(),
             submitted_at=now,
             deadline_at=None if deadline is None else now + deadline)
@@ -175,10 +204,10 @@ class Scheduler:
                 raise QueueFullError(
                     f"{self._pending} requests already pending "
                     f"(max_pending={self.config.max_pending})")
-            bucket = self._buckets.get((graph, req.method))
+            bucket = self._buckets.get((graph, req.method, req.accuracy))
             if bucket is None:
                 bucket = _Bucket(opened_at=now)
-                self._buckets[(graph, req.method)] = bucket
+                self._buckets[(graph, req.method, req.accuracy)] = bucket
             bucket.items.append(req)
             self._pending += 1
             self.telemetry.record_submit(self._pending)
@@ -188,22 +217,25 @@ class Scheduler:
     async def submit_async(self, graph: str, p: int | BicliqueQuery,
                            q: int | None = None, *,
                            method: str | None = None,
-                           deadline: float | None = None) -> CountResult:
+                           deadline: float | None = None,
+                           accuracy: str | None = None) -> CountResult:
         """Asyncio front-end: awaitable wrapper around :meth:`submit`.
 
         Admission failures raise immediately (synchronously inside the
         coroutine); everything else resolves through the event loop.
         """
-        future = self.submit(graph, p, q, method=method, deadline=deadline)
+        future = self.submit(graph, p, q, method=method, deadline=deadline,
+                             accuracy=accuracy)
         return await asyncio.wrap_future(future)
 
     def count(self, graph: str, p: int | BicliqueQuery,
               q: int | None = None, *, method: str | None = None,
               deadline: float | None = None,
+              accuracy: str | None = None,
               timeout: float | None = None) -> CountResult:
         """Synchronous convenience: submit and wait for the result."""
-        return self.submit(graph, p, q, method=method,
-                           deadline=deadline).result(timeout=timeout)
+        return self.submit(graph, p, q, method=method, deadline=deadline,
+                           accuracy=accuracy).result(timeout=timeout)
 
     def mutate(self, graph: str, mutations) -> int:
         """Apply an edge-mutation batch to a dynamic pooled graph.
@@ -321,14 +353,27 @@ class Scheduler:
                 self.telemetry.record_failed()
             return
         for req in live:
+            # the budget still standing when the worker reaches the
+            # request becomes a planning constraint: exact tiers admit
+            # against it, "auto" downgrades to the sampling tier
+            deadline_left = None if req.deadline_at is None \
+                else max(req.deadline_at - time.monotonic(), 1e-3)
             try:
                 result = session.count(req.query, req.method,
                                        backend=cfg.backend,
-                                       workers=cfg.backend_workers)
+                                       workers=cfg.backend_workers,
+                                       accuracy=req.accuracy,
+                                       deadline=deadline_left)
+            except DeadlineExceededError as exc:
+                req.future.set_exception(exc)
+                self.telemetry.record_expired()
+                continue
             except Exception as exc:
                 req.future.set_exception(exc)
                 self.telemetry.record_failed()
                 continue
             req.future.set_result(result)
+            if result.algorithm == "approx":
+                self.telemetry.record_approx()
             self.telemetry.record_completed(
                 time.monotonic() - req.submitted_at)

@@ -55,6 +55,7 @@ class Telemetry:
         self.completed = 0
         self.failed = 0        #: requests whose execution raised
         self.mutations = 0     #: edge mutations applied while serving
+        self.approx = 0        #: completions served by the sampling tier
         self.batches = 0
         self._batch_sizes: Counter[int] = Counter()
         self._queue_depth_last = 0
@@ -96,6 +97,10 @@ class Telemetry:
         with self._lock:
             self.mutations += n
 
+    def record_approx(self, n: int = 1) -> None:
+        with self._lock:
+            self.approx += n
+
     def _record_latency(self, ms: float) -> None:
         self._latency_seen += 1
         if self._latency_seen % self._latency_stride:
@@ -129,6 +134,7 @@ class Telemetry:
                 "completed": self.completed,
                 "failed": self.failed,
                 "mutations": self.mutations,
+                "approx_completed": self.approx,
                 "throughput_qps": (self.completed / elapsed) if elapsed > 0
                                   else 0.0,
                 "queue_depth": {"last": self._queue_depth_last,

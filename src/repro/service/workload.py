@@ -36,7 +36,7 @@ import numpy as np
 
 from repro.dynamic import EdgeMutation
 from repro.errors import DeadlineExceededError, QueueFullError, ServiceError
-from repro.plan import ensure_known
+from repro.plan import ensure_accuracy, ensure_known
 
 __all__ = ["WorkloadSpec", "WorkloadResult", "ServedQuery",
            "generate_requests", "run_workload"]
@@ -63,6 +63,9 @@ class WorkloadSpec:
     zipf_s: float = 1.1             #: graph-popularity skew exponent
     method: str = "GBC"
     deadline: float | None = None   #: per-request deadline (seconds)
+    #: service tier: "exact", "approx", or "auto" (exact when it fits
+    #: the deadline, the sampling tier when it does not)
+    accuracy: str = "exact"
     seed: int = 0
     #: fraction of each client's draws that become edge toggles
     mutate_fraction: float = 0.0
@@ -94,6 +97,7 @@ class WorkloadSpec:
         if self.mutate_graphs is not None and not self.mutate_graphs:
             raise ServiceError("mutate_graphs must be None or non-empty")
         ensure_known(self.method, allow_auto=True)
+        ensure_accuracy(self.accuracy)
 
     def as_dict(self) -> dict:
         return {
@@ -109,6 +113,7 @@ class WorkloadSpec:
             "zipf_s": self.zipf_s,
             "method": self.method,
             "deadline": self.deadline,
+            "accuracy": self.accuracy,
             "seed": self.seed,
             "mutate_fraction": self.mutate_fraction,
             "mutate_graphs": None if self.mutate_graphs is None
@@ -185,6 +190,9 @@ class ServedQuery:
     p: int
     q: int
     count: int
+    #: half-width of the 95% confidence interval for sampling-tier
+    #: answers; None marks an exact count
+    ci95: float | None = None
 
 
 @dataclass
@@ -209,11 +217,17 @@ class WorkloadResult:
         return self.completed / self.wall_seconds \
             if self.wall_seconds > 0 else 0.0
 
+    @property
+    def approx_served(self) -> int:
+        """Completions answered by the sampling tier (ci95 present)."""
+        return sum(1 for s in self.served if s.ci95 is not None)
+
     def as_dict(self) -> dict:
         return {"spec": self.spec.as_dict(), "issued": self.issued,
                 "completed": self.completed, "rejected": self.rejected,
                 "expired": self.expired, "failed": self.failed,
                 "mutations": self.mutations,
+                "approx_served": self.approx_served,
                 "wall_seconds": self.wall_seconds,
                 "throughput_qps": self.throughput_qps}
 
@@ -271,8 +285,11 @@ def run_workload(scheduler, spec: WorkloadSpec) -> WorkloadResult:
             with lock:
                 _classify(outcome, exc)
             return
+        ci95 = result.extras.get("ci95") \
+            if result.algorithm == "approx" else None
         with lock:
-            outcome.served.append(ServedQuery(graph, p, q, result.count))
+            outcome.served.append(ServedQuery(graph, p, q, result.count,
+                                              ci95=ci95))
 
     if spec.mode == "closed":
         budget = threading.Semaphore(spec.num_queries) \
@@ -295,7 +312,8 @@ def run_workload(scheduler, spec: WorkloadSpec) -> WorkloadResult:
                 try:
                     future = scheduler.submit(graph, p, q,
                                               method=spec.method,
-                                              deadline=spec.deadline)
+                                              deadline=spec.deadline,
+                                              accuracy=spec.accuracy)
                 except Exception as exc:
                     with lock:
                         outcome.issued += 1
@@ -333,7 +351,8 @@ def run_workload(scheduler, spec: WorkloadSpec) -> WorkloadResult:
                 inflight.append(
                     (graph, p, q,
                      scheduler.submit(graph, p, q, method=spec.method,
-                                      deadline=spec.deadline)))
+                                      deadline=spec.deadline,
+                                      accuracy=spec.accuracy)))
             except Exception as exc:
                 _classify(outcome, exc)
         for graph, p, q, future in inflight:

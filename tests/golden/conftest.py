@@ -20,6 +20,7 @@ import pytest
 
 GOLDEN_PATH = Path(__file__).parent / "golden_counts.json"
 MUTATIONS_PATH = Path(__file__).parent / "golden_mutations.json"
+ESTIMATES_PATH = Path(__file__).parent / "golden_estimates.json"
 
 
 class GoldenStore:
@@ -59,6 +60,20 @@ class GoldenStore:
 @pytest.fixture(scope="session")
 def golden(request) -> GoldenStore:
     return GoldenStore(GOLDEN_PATH,
+                       bool(request.config.getoption("--update-golden",
+                                                     default=False)))
+
+
+@pytest.fixture(scope="session")
+def golden_estimates(request) -> GoldenStore:
+    """Pinned sampling-tier traces (``golden_estimates.json``): one
+    {estimate, std_error, samples} record per (shape, query, seed)
+    cell, reproduced bit-for-bit by every backend.  Same
+    assert-or-repin semantics and the same ``--update-golden`` flag as
+    the count store (floats survive the JSON round trip exactly —
+    ``json`` serialises the shortest repr, which Python parses back to
+    the identical bits)."""
+    return GoldenStore(ESTIMATES_PATH,
                        bool(request.config.getoption("--update-golden",
                                                      default=False)))
 

@@ -1,0 +1,54 @@
+"""Golden sampling-tier regression harness.
+
+The exact counters have ``golden_counts.json``; the ``"approx"`` tier
+gets the same protection here.  For a fixed seed the Horvitz-Thompson
+estimate is a pure function of the graph, the query and the sample
+budget — so ``estimate``, ``std_error`` and ``samples`` are pinned to
+the last bit, per (shape, query) cell, and every backend must
+reproduce all three.  Any drift in root selection, importance
+weighting, rng consumption or the std-error formula fails here first.
+
+The budget (12) sits below every cell's promising-root population, so
+the pinned values exercise the genuine sampling path, never the
+exact-recovery shortcut.  Re-pin after an intentional estimator change
+with ``python -m pytest tests/golden --update-golden``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.counts import BicliqueQuery
+from repro.core.estimate import estimate_count
+
+from .test_golden_counts import GRAPHS
+
+BACKENDS = ("sim", "fast", "native")
+SEED = 5
+SAMPLES = 12
+
+#: three query shapes per graph shape; small enough to run everywhere,
+#: different enough to stress both anchoring directions
+QUERIES = (BicliqueQuery(2, 2), BicliqueQuery(2, 3), BicliqueQuery(3, 2))
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    return {name: build() for name, (build, _) in GRAPHS.items()}
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("query", QUERIES, ids=str)
+@pytest.mark.parametrize("shape", sorted(GRAPHS))
+def test_golden_estimate(golden_estimates, graphs, shape, query, backend):
+    est = estimate_count(graphs[shape], query, samples=SAMPLES,
+                         seed=SEED, backend=backend)
+    assert est.samples < est.population, (
+        f"{shape}/{query}: population {est.population} too small for the "
+        f"{SAMPLES}-sample budget; this cell would pin the exact-recovery "
+        f"path instead of the sampling path")
+    golden_estimates.check(
+        f"{shape}/{query}/seed{SEED}",
+        {"estimate": est.estimate, "std_error": est.std_error,
+         "samples": est.samples},
+        source=f"approx[{backend}]")

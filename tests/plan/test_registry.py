@@ -4,14 +4,15 @@ import pytest
 
 from repro.bench.runner import METHODS
 from repro.errors import QueryError, ReproError, UnknownMethodError
-from repro.plan import (MethodSpec, auto_candidates, ensure_known,
-                        get_method, method_names, register_method)
+from repro.plan import (MethodSpec, approx_candidates, auto_candidates,
+                        ensure_accuracy, ensure_known, get_method,
+                        method_names, register_method)
 
 
 class TestListing:
     def test_canonical_order(self):
         assert method_names() == ("Basic", "BCL", "BCLP", "GBL", "GBC",
-                                  "GBC-NH", "GBC-NB", "GBC-NW")
+                                  "GBC-NH", "GBC-NB", "GBC-NW", "approx")
 
     def test_bench_runner_methods_is_the_registry(self):
         assert METHODS == method_names()
@@ -22,10 +23,17 @@ class TestListing:
             assert spec.name == name
             assert callable(spec.runner)
 
-    def test_auto_candidates_exclude_ablations(self):
+    def test_auto_candidates_exclude_ablations_and_approx(self):
         names = [spec.name for spec in auto_candidates()]
         assert names == ["Basic", "BCL", "BCLP", "GBL", "GBC"]
         assert all(spec.cost is not None for spec in auto_candidates())
+
+    def test_approx_candidates_are_the_sampling_tier(self):
+        names = [spec.name for spec in approx_candidates()]
+        assert names == ["approx"]
+        spec = approx_candidates()[0]
+        assert spec.approximate
+        assert spec.cost is not None
 
 
 class TestCapabilities:
@@ -73,3 +81,9 @@ class TestFailureModes:
     def test_double_registration_rejected(self):
         with pytest.raises(ValueError, match="already registered"):
             register_method(MethodSpec(name="GBC", runner=lambda *a: None))
+
+    def test_ensure_accuracy(self):
+        for tier in ("exact", "approx", "auto"):
+            assert ensure_accuracy(tier) == tier
+        with pytest.raises(QueryError, match="accuracy"):
+            ensure_accuracy("fuzzy")

@@ -1,0 +1,126 @@
+"""Deadline-path regressions for the accuracy tiers in the service.
+
+The scenario the approx tier exists for: a workload whose exact plans
+cannot fit the per-request deadline.  Under ``accuracy="auto"`` every
+request must still complete — answered by the sampling tier, carrying
+its ci95 — and the answers must be good to the precision they claim
+(checked against the exact count, the same oracle ``verify_served``
+applies).  Under ``accuracy="exact"`` the same workload must *refuse*
+rather than silently degrade: every request expires with
+:class:`~repro.errors.DeadlineExceededError`.
+
+The graph/deadline pair is picked so the admission decision is
+deterministic: the best exact plan predicts ~50 ms against a 10 ms
+deadline, a 5x margin no scheduler jitter can flip.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.counts import BicliqueQuery
+from repro.core.gbc import gbc_count
+from repro.errors import DeadlineExceededError, ServiceError
+from repro.graph.generators import random_bipartite
+from repro.plan import Planner
+from repro.service.bench import verify_served
+from repro.service.pool import SessionPool
+from repro.service.scheduler import Scheduler, SchedulerConfig
+from repro.service.workload import WorkloadSpec, run_workload
+
+#: dense enough that every exact plan predicts far beyond DEADLINE
+GRAPH = random_bipartite(200, 150, 3000, seed=3)
+QUERY = BicliqueQuery(3, 3)
+DEADLINE = 0.01
+
+
+@pytest.fixture(scope="module")
+def exact_count():
+    return gbc_count(GRAPH, QUERY).count
+
+
+@pytest.fixture()
+def scheduler():
+    pool = SessionPool(max_sessions=1)
+    pool.register("g", GRAPH)
+    sched = Scheduler(pool, config=SchedulerConfig())
+    yield sched
+    sched.close()
+
+
+def test_deadline_is_actually_infeasible_for_exact():
+    """Guard the premise: if the cost model ever gets fast enough to
+    predict this plan under the deadline, the tests below stop testing
+    the fallback path — fail loudly here instead."""
+    best = Planner(GRAPH).rank(QUERY)[0]
+    assert best.predicted_seconds > 5 * DEADLINE
+
+
+class TestSchedulerTiers:
+    def test_auto_falls_back_to_approx(self, scheduler, exact_count):
+        result = scheduler.count("g", QUERY.p, QUERY.q, accuracy="auto",
+                                 deadline=DEADLINE)
+        assert result.algorithm == "approx"
+        assert result.extras["ci95"] >= 0.0
+        assert abs(result.count - exact_count) \
+            <= result.extras["ci95"] + 0.5
+        assert scheduler.telemetry.snapshot()["approx_completed"] == 1
+
+    def test_exact_refuses_instead_of_degrading(self, scheduler):
+        with pytest.raises(DeadlineExceededError):
+            scheduler.count("g", QUERY.p, QUERY.q, accuracy="exact",
+                            deadline=DEADLINE)
+        snap = scheduler.telemetry.snapshot()
+        assert snap["expired"] == 1
+        assert snap["failed"] == 0       # a miss is not a malfunction
+
+    def test_no_deadline_stays_exact(self, scheduler, exact_count):
+        result = scheduler.count("g", QUERY.p, QUERY.q, accuracy="auto")
+        assert result.algorithm != "approx"
+        assert result.count == exact_count
+
+    def test_explicit_exact_method_with_approx_tier_rejected(self,
+                                                             scheduler):
+        """Naming an exact method AND a non-exact tier is a
+        contradiction; it must fail at admission, before a worker batch
+        could be poisoned by it."""
+        with pytest.raises(ServiceError, match="plans the method"):
+            scheduler.submit("g", QUERY.p, QUERY.q, method="GBC",
+                             accuracy="approx")
+
+    def test_approx_tier_without_deadline_samples_by_default(self,
+                                                             scheduler):
+        result = scheduler.count("g", QUERY.p, QUERY.q, accuracy="approx")
+        assert result.algorithm == "approx"
+        assert result.extras["samples"] > 0
+
+
+class TestWorkloadUnderDeadline:
+    def _run(self, accuracy: str):
+        spec = WorkloadSpec(graphs=("g",), shapes=((QUERY.p, QUERY.q),),
+                            num_queries=8, clients=2, method="auto",
+                            deadline=DEADLINE, accuracy=accuracy, seed=6)
+        pool = SessionPool(max_sessions=1)
+        pool.register("g", GRAPH)
+        sched = Scheduler(pool, config=SchedulerConfig())
+        try:
+            return run_workload(sched, spec)
+        finally:
+            sched.close()
+
+    def test_auto_workload_completes_via_sampling(self, exact_count):
+        result = self._run("auto")
+        assert result.completed == 8
+        assert result.expired == 0
+        assert result.approx_served == result.completed
+        for s in result.served:
+            assert s.ci95 is not None
+            assert abs(s.count - exact_count) <= s.ci95 + 0.5
+        # the same oracle serve-bench artifacts are gated on
+        assert verify_served({"g": GRAPH}, result) == []
+
+    def test_exact_workload_expires_instead(self):
+        result = self._run("exact")
+        assert result.completed == 0
+        assert result.expired == result.issued == 8
+        assert result.failed == 0

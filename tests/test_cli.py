@@ -35,7 +35,10 @@ class TestParser:
              "--backend", "fast"])
         assert args.command == "batch"
         assert args.queries == "3x3,3x4"
-        assert args.method == "GBC"
+        # None defers the GBC default to the handler, which upgrades it
+        # to "auto" when --accuracy asks for a non-exact tier
+        assert args.method is None
+        assert args.accuracy == "exact"
 
 
 class TestCommands:
@@ -128,6 +131,30 @@ class TestCommands:
                      "-p", "2", "-q", "2", "--samples", "8"]) == 0
         assert "estimate:" in capsys.readouterr().out
 
+    def test_estimate_routes_through_the_plan_layer(self, capsys):
+        """``estimate`` dispatches the registered "approx" method via
+        explicit_plan/execute_plan (the gap this command used to have:
+        it called the estimator directly and ignored --backend)."""
+        assert main(["estimate", "--dataset", "YT", "--scale", "tiny",
+                     "-p", "2", "-q", "2", "--samples", "8",
+                     "--backend", "native"]) == 0
+        out = capsys.readouterr().out
+        assert "backend: native" in out
+        assert "root trees" in out
+
+    def test_estimate_seed_reproducible(self, capsys):
+        argv = ["estimate", "--dataset", "YT", "--scale", "tiny",
+                "-p", "3", "-q", "3", "--samples", "8", "--seed", "4"]
+
+        def estimate_line():
+            assert main(argv) == 0
+            out = capsys.readouterr().out
+            return next(ln for ln in out.splitlines()
+                        if ln.startswith("estimate:"))
+
+        # wall time varies run to run; the estimate may not
+        assert estimate_line() == estimate_line()
+
     def test_datasets(self, capsys):
         assert main(["datasets"]) == 0
         out = capsys.readouterr().out
@@ -137,6 +164,89 @@ class TestCommands:
     def test_experiment(self, capsys):
         assert main(["experiment", "table2", "--scale", "tiny"]) == 0
         assert "Table II" in capsys.readouterr().out
+
+
+class TestAccuracyTier:
+    """--accuracy / --deadline: the sampling tier through the CLI."""
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(
+            ["count", "--dataset", "YT", "-p", "2", "-q", "2"])
+        assert args.accuracy == "exact"
+        assert args.deadline is None
+
+    def test_count_accuracy_approx(self, capsys):
+        assert main(["count", "--dataset", "YT", "--scale", "tiny",
+                     "-p", "3", "-q", "3", "--accuracy", "approx"]) == 0
+        out = capsys.readouterr().out
+        assert "plan: auto ->" in out
+        assert "estimate:" in out and "95% CI" in out
+        assert "seed" in out
+
+    def test_count_auto_with_tight_deadline_samples(self, capsys):
+        assert main(["count", "--dataset", "YT", "--scale", "tiny",
+                     "-p", "3", "-q", "3", "--accuracy", "auto",
+                     "--deadline", "0.000001"]) == 0
+        out = capsys.readouterr().out
+        assert "method: approx" in out
+        assert "estimate:" in out
+
+    def test_count_exact_deadline_infeasible_errors(self, capsys):
+        assert main(["count", "--dataset", "YT", "--scale", "tiny",
+                     "-p", "3", "-q", "3", "--accuracy", "exact",
+                     "--deadline", "0.000000001"]) == 1
+        err = capsys.readouterr().err
+        assert "deadline" in err
+        assert "--accuracy auto" in err
+
+    def test_explicit_method_with_approx_tier_is_usage_error(self, capsys):
+        assert main(["count", "--dataset", "YT", "--scale", "tiny",
+                     "-p", "2", "-q", "2", "--method", "GBC",
+                     "--accuracy", "approx"]) == 2
+        assert "planner choose" in capsys.readouterr().err
+
+    def test_batch_accuracy_approx(self, capsys):
+        assert main(["batch", "--dataset", "YT", "--scale", "tiny",
+                     "--queries", "2x2,3x3", "--accuracy", "approx"]) == 0
+        out = capsys.readouterr().out
+        assert "(2,2)" in out and "(3,3)" in out
+        assert "+-" in out          # every approx cell carries its ci95
+
+    def test_plan_explain_error_column_and_approx_alternative(self, capsys):
+        assert main(["plan", "explain", "--dataset", "YT",
+                     "--scale", "tiny", "-p", "2", "-q", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "error" in out                 # the new column
+        assert "exact" in out                 # exact rows say so
+        assert "approx tier:" in out          # the what-if footer
+        assert "-sample estimate predicted" in out
+
+    def test_plan_explain_accuracy_approx_ranks_the_sampling_tier(
+            self, capsys):
+        assert main(["plan", "explain", "--dataset", "YT",
+                     "--scale", "tiny", "-p", "2", "-q", "2",
+                     "--accuracy", "approx"]) == 0
+        out = capsys.readouterr().out
+        assert "approx" in out
+        assert "~" in out           # relative-error cells, not "exact"
+        assert "GBC" not in out     # exact methods are not candidates
+
+    def test_serve_bench_accuracy_approx(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "BENCH_serve.json"
+        assert main(["serve-bench", "--graphs", "YT", "--scale", "tiny",
+                     "--queries", "20", "--clients", "2",
+                     "--accuracy", "approx", "--naive-limit", "5",
+                     "--output", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "within its reported 95% CI" in out
+        artifact = json.loads(out_path.read_text())
+        assert artifact["mismatches"] == []
+        assert artifact["spec"]["accuracy"] == "approx"
+        assert artifact["scheduler"]["accuracy"] == "approx"
+        assert artifact["served"]["approx_served"] == \
+            artifact["served"]["completed"] == 20
 
 
 class TestModuleEntryPoint:
