@@ -23,6 +23,7 @@ from pathlib import Path
 import pytest
 
 from repro import power_law_bipartite, random_bipartite
+from repro.obs.trace import span, tally_kernel, tracing_enabled
 from repro.parallel.sharding import default_workers
 from repro.service import SchedulerConfig, WorkloadSpec, serve_bench
 from repro.service.bench import write_artifact
@@ -77,6 +78,9 @@ def _render(artifact: dict) -> str:
 
 
 def test_serve_throughput(save_artifact):
+    # the bar below is measured with tracing off — the default, and the
+    # configuration the <2% instrumentation-overhead claim is made for
+    assert not tracing_enabled()
     artifact = serve_bench(make_graphs(), SPEC, config=CONFIG,
                            naive_limit=60, verify=True)
     write_artifact(artifact, ARTIFACT_DIR / "BENCH_serve.json")
@@ -98,6 +102,28 @@ def test_serve_throughput(save_artifact):
         f"{artifact['naive']['throughput_qps']:.1f} qps = "
         f"{artifact['speedup_vs_naive']:.2f}x, below the "
         f"{MIN_SPEEDUP}x bar")
+
+
+def test_disabled_tracing_overhead_is_negligible():
+    """The instrumented seams cost one flag check when tracing is off.
+
+    The serve-bench throughput bar above already runs through every
+    traced seam with tracing disabled; this pins the per-call price of
+    a disabled span + kernel tally directly.  5µs/iteration is ~25x the
+    measured cost on a 2020s laptop and far below 2% of even the
+    smallest kernel batch, so the bound fails only if someone puts real
+    work on the disabled path.
+    """
+    import time
+
+    assert not tracing_enabled()
+    n = 100_000
+    t0 = time.perf_counter()
+    for _ in range(n):
+        with span("bench.noop", detail=1):
+            tally_kernel("noop", items=4)
+    per_call = (time.perf_counter() - t0) / n
+    assert per_call < 5e-6, f"disabled span+tally cost {per_call * 1e6:.2f}µs"
 
 
 if __name__ == "__main__":      # pragma: no cover - manual invocation

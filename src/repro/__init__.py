@@ -50,6 +50,9 @@ Packages:
 * :mod:`repro.service` — the concurrent serving subsystem (bounded
   session pool, micro-batching scheduler with futures/deadlines/
   backpressure, telemetry, workload generator, serve-bench harness).
+* :mod:`repro.obs` — cross-layer observability: zero-overhead-when-off
+  span tracing, the measured-cost ledger that calibrates the Planner,
+  structured logging and the BENCH_* regression leaderboard.
 * :mod:`repro.bench` — dataset stand-ins and paper experiment harness.
 
 See ``docs/ARCHITECTURE.md`` for the layer diagram and
@@ -119,6 +122,13 @@ from repro.dynamic import (
     EdgeMutation,
     SnapshotSession,
 )
+from repro.obs import (
+    CostLedger,
+    TraceRecorder,
+    disable_tracing,
+    enable_tracing,
+    tracing,
+)
 from repro.service import (
     Scheduler,
     SchedulerConfig,
@@ -164,4 +174,6 @@ __all__ = [
     "DynamicGraphSession", "SnapshotSession", "EdgeMutation",
     "SessionPool", "Scheduler", "SchedulerConfig", "Telemetry",
     "WorkloadSpec", "run_workload", "serve_bench", "mutate_bench",
+    "CostLedger", "TraceRecorder", "enable_tracing", "disable_tracing",
+    "tracing",
 ]

@@ -87,7 +87,7 @@ def run_method(method: str, graph: BipartiteGraph, query: BicliqueQuery,
                workers: int | None = None,
                session=None,
                layer: str | None = None,
-               options=None) -> CountResult:
+               options=None, ledger=None) -> CountResult:
     """Run a registered method by name — a thin plan/execute wrapper.
 
     The name resolves through the :mod:`repro.plan` registry (an
@@ -103,14 +103,17 @@ def run_method(method: str, graph: BipartiteGraph, query: BicliqueQuery,
     HTB structures.  ``layer`` pins the anchored layer (ignored by
     Basic, which always anchors on U); ``options`` are GBC feature
     toggles — for ``GBC-*`` variant names they default to the named
-    ablation.
+    ablation.  ``ledger`` (a :class:`repro.obs.ledger.CostLedger`)
+    records the run's measured headline seconds for Planner
+    calibration.
     """
     spec = spec or rtx_3090()
     plan = plan_query(graph, query, method, backend=backend,
                       workers=workers, layer=layer, session=session,
                       spec=spec, threads=threads)
     return execute_plan(plan, graph, query, session=session, spec=spec,
-                        backend=backend, options=options, threads=threads)
+                        backend=backend, options=options, threads=threads,
+                        ledger=ledger)
 
 
 def run_matrix(graphs: dict[str, BipartiteGraph],

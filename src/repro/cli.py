@@ -12,6 +12,11 @@ Examples::
     python -m repro estimate --dataset YT --scale bench -p 4 -q 4 --samples 32
     python -m repro datasets
     python -m repro experiment fig9 --scale tiny
+    python -m repro count --dataset YT --scale tiny -p 3 -q 3 --trace t.jsonl
+    python -m repro trace summarize t.jsonl
+    python -m repro plan explain --dataset YT --scale tiny -p 3 -q 3 \\
+        --ledger costs.json --measure
+    python -m repro leaderboard
 """
 
 from __future__ import annotations
@@ -62,7 +67,18 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="(p,q)-biclique counting — GBC reproduction (ICDE'24)")
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="log the serving/planning internals to "
+                             "stderr (-v info, -vv debug); goes before "
+                             "the subcommand")
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_trace_arg(p):
+        p.add_argument("--trace", default=None, metavar="PATH",
+                       help="record cross-layer spans (planner, prepared-"
+                            "state builds, kernel batches, scheduler "
+                            "lifecycle) to a JSONL file; inspect with "
+                            "'repro trace summarize PATH'")
 
     def add_graph_args(p):
         src = p.add_mutually_exclusive_group(required=True)
@@ -98,6 +114,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="latency budget the plan must fit; with "
                         "--accuracy exact a predicted overrun is an "
                         "error, with auto it downgrades to sampling")
+    add_trace_arg(c)
 
     b = sub.add_parser("batch",
                        help="run many (p,q) queries with shared "
@@ -121,6 +138,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default exact)")
     b.add_argument("--deadline", type=float, default=None, metavar="SECS",
                    help="per-query latency budget (see count --deadline)")
+    add_trace_arg(b)
 
     sb = sub.add_parser(
         "serve-bench",
@@ -184,6 +202,7 @@ def build_parser() -> argparse.ArgumentParser:
                                         "BENCH_serve.json",
                     help="artifact path (default benchmarks/artifacts/"
                          "BENCH_serve.json)")
+    add_trace_arg(sb)
 
     mb = sub.add_parser(
         "serve-mutate-bench",
@@ -253,6 +272,35 @@ def build_parser() -> argparse.ArgumentParser:
                          "always shown)")
     pe.add_argument("--deadline", type=float, default=None, metavar="SECS",
                     help="latency budget the ranked plans must fit")
+    pe.add_argument("--ledger", default=None, metavar="PATH",
+                    help="cost-ledger JSON: measured runs recorded there "
+                         "calibrate the ranking and add observed/"
+                         "calibrated columns; with --measure this run's "
+                         "measurements are recorded back into it")
+
+    t = sub.add_parser("trace",
+                       help="inspect cross-layer trace files")
+    tsub = t.add_subparsers(dest="trace_command", required=True)
+    ts = tsub.add_parser(
+        "summarize",
+        help="aggregate a --trace JSONL file into a per-span "
+             "time / self-time tree")
+    ts.add_argument("path", help="JSONL file written by --trace")
+
+    lb = sub.add_parser(
+        "leaderboard",
+        help="assemble BENCH_*.json artifacts into the regression "
+             "leaderboard (BENCH_leaderboard.json + .md)")
+    lb.add_argument("--artifacts", default="benchmarks/artifacts",
+                    metavar="DIR",
+                    help="artifact directory scanned for BENCH_*.json "
+                         "(default benchmarks/artifacts)")
+    lb.add_argument("--json-out", default=None, metavar="PATH",
+                    help="leaderboard JSON path (default "
+                         "DIR/BENCH_leaderboard.json)")
+    lb.add_argument("--md-out", default=None, metavar="PATH",
+                    help="leaderboard markdown path (default "
+                         "DIR/BENCH_leaderboard.md)")
 
     e = sub.add_parser("enumerate", help="list (p,q)-bicliques")
     add_graph_args(e)
@@ -555,7 +603,15 @@ def _cmd_plan(args) -> int:
         return 2
     graph = _load(args)
     query = BicliqueQuery(args.p, args.q)
-    planner = Planner(graph, samples=args.samples, seed=args.seed)
+    ledger = None
+    if args.ledger:
+        import os
+
+        from repro.obs import CostLedger
+        ledger = CostLedger.load(args.ledger) \
+            if os.path.exists(args.ledger) else CostLedger()
+    planner = Planner(graph, samples=args.samples, seed=args.seed,
+                      ledger=ledger)
     try:
         ranked = planner.rank(query, backend=args.backend,
                               workers=args.workers,
@@ -564,7 +620,10 @@ def _cmd_plan(args) -> int:
     except DeadlineExceededError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
-    headers = ["rank", "method", "backend", "predicted", "error"]
+    headers = ["rank", "method", "backend", "predicted"]
+    if ledger is not None:
+        headers += ["observed", "calibrated"]
+    headers.append("error")
     if args.measure:
         headers.append("measured")
     rows = []
@@ -572,16 +631,25 @@ def _cmd_plan(args) -> int:
         marker = " <- chosen" if position == 1 else ""
         rel = plan.signals.get("predicted_rel_error")
         row = [f"{position}{marker}", plan.method, plan.backend,
-               format_seconds(plan.predicted_seconds),
-               "exact" if rel is None else f"~{rel * 100:.0f}%"]
+               format_seconds(plan.predicted_seconds)]
+        if ledger is not None:
+            row.append("-" if plan.observed_seconds is None
+                       else format_seconds(plan.observed_seconds))
+            row.append("-" if plan.calibrated_seconds is None
+                       else format_seconds(plan.calibrated_seconds))
+        row.append("exact" if rel is None else f"~{rel * 100:.0f}%")
         if args.measure:
-            row.append(format_seconds(
-                headline_seconds(execute_plan(plan, graph, query))))
+            row.append(format_seconds(headline_seconds(
+                execute_plan(plan, graph, query, ledger=ledger))))
         rows.append(row)
     print(f"graph: {graph}")
     print(render_table(
         f"plan explain ({args.p},{args.q}) — "
         f"{len(ranked)} candidate plan(s), cheapest first", headers, rows))
+    if ledger is not None and args.measure:
+        cells = ledger.save(args.ledger)
+        print(f"ledger: {cells} cell(s) now in {args.ledger} "
+              f"(re-run to see the calibrated ranking)")
     chosen = ranked[0]
     signals = chosen.signals
     print(f"chosen: {chosen.method} on {chosen.backend} — {chosen.reason}")
@@ -605,6 +673,38 @@ def _cmd_plan(args) -> int:
         print(f"approx tier: {alt.samples}-sample estimate predicted "
               f"{format_seconds(alt.predicted_seconds)} "
               f"(~{rel * 100:.0f}% rel. error) on {alt.backend}")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    if args.trace_command != "summarize":   # pragma: no cover - argparse
+        return 2
+    from repro.obs.trace import load_records, render_summary, summarize
+    try:
+        records = load_records(args.path)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(render_summary(summarize(records)))
+    return 0
+
+
+def _cmd_leaderboard(args) -> int:
+    from repro.obs.leaderboard import write_leaderboard
+    from repro.obs.schema import SchemaError
+    try:
+        json_path, md_path, board = write_leaderboard(
+            args.artifacts, out_json=args.json_out, out_md=args.md_out)
+    except SchemaError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    summary = board["summary"]
+    print(f"leaderboard: {len(board['cells'])} cell(s) from "
+          f"{len(board['artifacts'])} artifact(s) — "
+          f"{summary['win']} win(s), {summary['regression']} "
+          f"regression(s), {summary['flat']} flat, {summary['new']} new")
+    print(f"wrote {json_path}")
+    print(f"wrote {md_path}")
     return 0
 
 
@@ -671,12 +771,28 @@ def main(argv: list[str] | None = None) -> int:
         "batch": _cmd_batch,
         "serve-bench": _cmd_serve_bench,
         "serve-mutate-bench": _cmd_serve_mutate_bench,
+        "trace": _cmd_trace,
+        "leaderboard": _cmd_leaderboard,
         "enumerate": _cmd_enumerate,
         "estimate": _cmd_estimate,
         "datasets": _cmd_datasets,
         "experiment": _cmd_experiment,
     }
-    return handlers[args.command](args)
+    if args.verbose:
+        from repro.obs import configure_logging
+        configure_logging(args.verbose)
+    recorder = None
+    if getattr(args, "trace", None):
+        from repro.obs import TraceRecorder, enable_tracing
+        recorder = enable_tracing(TraceRecorder())
+    try:
+        return handlers[args.command](args)
+    finally:
+        if recorder is not None:
+            from repro.obs import disable_tracing
+            disable_tracing()
+            n = recorder.dump(args.trace)
+            print(f"trace: {n} record(s) -> {args.trace}")
 
 
 if __name__ == "__main__":  # pragma: no cover

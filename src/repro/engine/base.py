@@ -48,6 +48,7 @@ import numpy as np
 
 from repro.errors import QueryError
 from repro.gpu.metrics import KernelMetrics
+from repro.obs import trace as _trace
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.gpu.device import DeviceSpec
@@ -123,11 +124,15 @@ class KernelBackend(ABC):
                    comparisons: list[int] | None = None
                    ) -> list[np.ndarray]:
         """:meth:`merge` of ``a`` against every list in ``lists``."""
+        if _trace.enabled:
+            _trace.tally_kernel("merge_many", items=len(lists))
         return [self.merge(a, b, comparisons) for b in lists]
 
     def membership_many(self, keys: np.ndarray,
                         lists: "list[np.ndarray]") -> list[np.ndarray]:
         """:meth:`membership` of ``keys`` against every list."""
+        if _trace.enabled:
+            _trace.tally_kernel("membership_many", items=len(lists))
         return [self.membership(keys, lst) for lst in lists]
 
     def intersect_many(self, keys: np.ndarray, offsets: np.ndarray,
@@ -141,6 +146,8 @@ class KernelBackend(ABC):
         each row's ``base_word`` is its flat offset, matching what the
         per-candidate call sites always passed.
         """
+        if _trace.enabled:
+            _trace.tally_kernel("intersect_many", items=len(rows))
         out = []
         for r in rows:
             r = int(r)
@@ -171,6 +178,8 @@ class KernelBackend(ABC):
                               ) -> "list[BitmapSet]":
         """:meth:`bitmap_intersect` of ``keys`` against many HTB rows
         (``htb`` is a :class:`repro.htb.htb.HTB`)."""
+        if _trace.enabled:
+            _trace.tally_kernel("bitmap_intersect_many", items=len(rows))
         out = []
         for r in rows:
             r = int(r)
@@ -213,6 +222,8 @@ class KernelBackend(ABC):
         """Pair ``i``: intersect ragged row ``a_ids[i]`` of ``(a_off,
         a_val)`` with CSR row ``rows[i]``.  Returns the results as one
         ragged ``(out_off, out_val)`` pair."""
+        if _trace.enabled:
+            _trace.tally_kernel("intersect_pairs", items=len(rows))
         outs = []
         for a_id, r in zip(a_ids, rows):
             lo = int(offsets[int(r)])
@@ -249,6 +260,9 @@ class KernelBackend(ABC):
         ``(out_off, out_idx, out_val, counts)`` — the result bitmaps as
         one ragged word array plus each pair's popcount."""
         from repro.htb.htb import BitmapSet
+
+        if _trace.enabled:
+            _trace.tally_kernel("bitmap_pairs", items=len(rows))
 
         idx_parts, val_parts, lens, counts = [], [], [], []
         for a_id, r in zip(a_ids, rows):

@@ -52,6 +52,7 @@ from repro.graph.csr import row_positions
 from repro.gpu.metrics import KernelMetrics
 from repro.htb.bitmap import popcount
 from repro.htb.htb import BitmapSet
+from repro.obs import trace as _trace
 from repro.plan.registry import BackendCostModel, register_backend_cost
 
 __all__ = ["NativeBackend", "NativePack", "build_native_pack",
@@ -178,6 +179,10 @@ class NativeBackend(FastBackend):
         if len(a) == 0:
             return [_EMPTY_I64] * n
         lens = np.asarray([len(b) for b in lists], dtype=np.int64)
+        if _trace.enabled:
+            _trace.tally_kernel("merge_many", items=n,
+                                bytes_touched=8 * (len(a) * n
+                                                   + int(lens.sum())))
         if not int(lens.sum()):
             return [_EMPTY_I64] * n
         flat = np.concatenate(lists)
@@ -195,6 +200,10 @@ class NativeBackend(FastBackend):
         if nk == 0:
             return [_EMPTY_BOOL] * n
         lens = np.asarray([len(b) for b in lists], dtype=np.int64)
+        if _trace.enabled:
+            _trace.tally_kernel("membership_many", items=n,
+                                bytes_touched=8 * (nk * n
+                                                   + int(lens.sum())))
         out = np.zeros((n, nk), dtype=bool)
         if int(lens.sum()):
             flat = np.concatenate(lists)
@@ -212,6 +221,10 @@ class NativeBackend(FastBackend):
             return []
         if len(keys) == 0:
             return [_EMPTY_I64] * n
+        if _trace.enabled:
+            row_elems = int((offsets[rows + 1] - offsets[rows]).sum())
+            _trace.tally_kernel("intersect_many", items=n,
+                                bytes_touched=8 * (len(keys) + row_elems))
         if self.jit_enabled:
             flat, out_lens = _jit.intersect_rows(keys, offsets, values,
                                                  rows)
@@ -232,6 +245,10 @@ class NativeBackend(FastBackend):
             return np.zeros(0, dtype=np.int64)
         if len(keys) == 0:
             return np.zeros(n, dtype=np.int64)
+        if _trace.enabled:
+            row_elems = int((offsets[rows + 1] - offsets[rows]).sum())
+            _trace.tally_kernel("intersect_sizes", items=n,
+                                bytes_touched=8 * (len(keys) + row_elems))
         if self.jit_enabled:
             return _jit.intersect_row_sizes(keys, offsets, values, rows)
         pos, lens = row_positions(offsets, rows)
@@ -300,6 +317,13 @@ class NativeBackend(FastBackend):
         if n == 0:
             return off, _EMPTY_I64
         a_ids = np.asarray(a_ids, dtype=np.int64)
+        if _trace.enabled:
+            _trace.tally_kernel(
+                "intersect_pairs", items=n,
+                bytes_touched=8 * (int((a_off[a_ids + 1]
+                                        - a_off[a_ids]).sum())
+                                   + int((offsets[rows + 1]
+                                          - offsets[rows]).sum())))
         if self.jit_enabled:
             flat, out_lens = _jit.intersect_pair_rows(
                 a_off, a_val, a_ids, offsets, values, rows)
@@ -321,6 +345,13 @@ class NativeBackend(FastBackend):
         if n == 0:
             return np.zeros(0, dtype=np.int64)
         a_ids = np.asarray(a_ids, dtype=np.int64)
+        if _trace.enabled:
+            _trace.tally_kernel(
+                "intersect_pairs_sizes", items=n,
+                bytes_touched=8 * (int((a_off[a_ids + 1]
+                                        - a_off[a_ids]).sum())
+                                   + int((offsets[rows + 1]
+                                          - offsets[rows]).sum())))
         if self.jit_enabled:
             return _jit.intersect_pair_sizes(a_off, a_val, a_ids,
                                              offsets, values, rows)
@@ -343,6 +374,13 @@ class NativeBackend(FastBackend):
         b_pos, b_lens = row_positions(htb.off, rows)
         if len(a_idx) == 0 or len(b_pos) == 0:
             return off, _EMPTY_I64, _EMPTY_U64, np.zeros(n, dtype=np.int64)
+        if _trace.enabled:
+            aids = np.asarray(a_ids, dtype=np.int64)
+            _trace.tally_kernel(
+                "bitmap_pairs", items=n,
+                bytes_touched=16 * (int((a_off[aids + 1]
+                                         - a_off[aids]).sum())
+                                    + int(b_lens.sum())))
         b_idx = htb.idx[b_pos]
         pos, hit = self._pair_hits(a_off, a_idx,
                                    np.asarray(a_ids, dtype=np.int64),
@@ -368,6 +406,13 @@ class NativeBackend(FastBackend):
         b_pos, b_lens = row_positions(htb.off, rows)
         if len(a_idx) == 0 or len(b_pos) == 0:
             return np.zeros(n, dtype=np.int64)
+        if _trace.enabled:
+            aids = np.asarray(a_ids, dtype=np.int64)
+            _trace.tally_kernel(
+                "bitmap_pairs_counts", items=n,
+                bytes_touched=16 * (int((a_off[aids + 1]
+                                         - a_off[aids]).sum())
+                                    + int(b_lens.sum())))
         pos, hit = self._pair_hits(a_off, a_idx,
                                    np.asarray(a_ids, dtype=np.int64),
                                    htb.idx[b_pos], b_lens)
@@ -403,6 +448,11 @@ class NativeBackend(FastBackend):
             return []
         if keys.is_empty():
             return [_EMPTY_SET] * n
+        if _trace.enabled:
+            row_words = int((htb.off[rows + 1] - htb.off[rows]).sum())
+            _trace.tally_kernel(
+                "bitmap_intersect_many", items=n,
+                bytes_touched=16 * (len(keys.idx) + row_words))
         if self.jit_enabled:
             flat_idx, flat_val, words, pops = _jit.bitmap_rows(
                 keys.idx, keys.val, htb.off, htb.idx, htb.val, rows)
@@ -432,6 +482,11 @@ class NativeBackend(FastBackend):
             return np.zeros(0, dtype=np.int64)
         if keys.is_empty():
             return np.zeros(n, dtype=np.int64)
+        if _trace.enabled:
+            row_words = int((htb.off[rows + 1] - htb.off[rows]).sum())
+            _trace.tally_kernel(
+                "bitmap_intersect_counts", items=n,
+                bytes_touched=16 * (len(keys.idx) + row_words))
         if self.jit_enabled:
             return _jit.bitmap_row_counts(keys.idx, keys.val, htb.off,
                                           htb.idx, htb.val, rows)

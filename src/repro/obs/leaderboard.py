@@ -1,0 +1,231 @@
+"""The BENCH_* regression leaderboard.
+
+Every benchmark suite writes a ``benchmarks/artifacts/BENCH_*.json``
+artifact, and each PR's CI run uploads a fresh generation of them —
+but nothing compared generations, so a per-cell regression (GBC slowing
+down on one graph while the averages hold) sailed through.  This module
+assembles every artifact into one ``BENCH_leaderboard.{json,md}``: a
+per-(graph, shape, method) waterfall of headline metrics, each compared
+against the value recorded in the **previous** leaderboard (the
+generation written by the last run) and flagged::
+
+    win         improved by >= 5%
+    regression  worsened by >= 5%
+    flat        within the 5% band
+    new         no previous generation had this cell
+
+The improvement factor is direction-aware — ``prev/new`` for
+lower-is-better metrics (seconds, ratios), ``new/prev`` for
+higher-is-better ones (speedups, throughput) — so > 1 always means
+"better" and the flags read uniformly.  The CI ``leaderboard`` job
+fails on a schema violation (:mod:`repro.obs.schema`), never on a
+regression flag: the waterfall is for humans reviewing the PR.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.obs.schema import validate_artifact
+
+__all__ = ["LEADERBOARD_STEM", "build_leaderboard", "collect_artifacts",
+           "extract_cells", "render_markdown", "write_leaderboard"]
+
+LEADERBOARD_STEM = "BENCH_leaderboard"
+
+#: flags flip outside a +/-5% band; inside it a cell is "flat"
+WIN_BAND = 1.05
+
+
+def collect_artifacts(artifacts_dir) -> list[tuple[str, dict]]:
+    """Load every ``BENCH_*.json`` (validated), sorted by filename.
+
+    The leaderboard's own output matches the glob and is excluded —
+    it is the *comparison baseline*, not an input.
+    """
+    out = []
+    for path in sorted(Path(artifacts_dir).glob("BENCH_*.json")):
+        if path.stem == LEADERBOARD_STEM:
+            continue
+        with open(path, "r", encoding="utf-8") as fh:
+            artifact = json.load(fh)
+        validate_artifact(artifact, name=path.name)
+        out.append((path.name, artifact))
+    return out
+
+
+def _cell(artifact: str, cell: str, metric: str, value,
+          direction: str) -> dict:
+    return {"artifact": artifact, "cell": cell, "metric": metric,
+            "value": float(value), "direction": direction}
+
+
+def extract_cells(name: str, artifact: dict) -> list[dict]:
+    """Headline (cell, metric, value) triples for one artifact.
+
+    ``direction`` is ``"lower"`` or ``"higher"`` (which way is better).
+    Unknown kinds yield nothing rather than failing — the schema layer
+    already rejected genuinely malformed files.
+    """
+    kind = artifact.get("kind")
+    cells: list[dict] = []
+    if kind == "plan_accuracy":
+        for row in artifact["datasets"]:
+            p, q = row["query"]
+            key = f"{row['dataset']}|{p}x{q}"
+            cells.append(_cell(name, key, "ratio_vs_best",
+                               row["ratio_vs_best"], "lower"))
+            cells.append(_cell(name, key, "auto_measured_seconds",
+                               row["auto_measured_seconds"], "lower"))
+    elif kind == "native_speedup":
+        for row in artifact["datasets"]:
+            p, q = row["query"]
+            for method, stats in sorted(row["methods"].items()):
+                key = f"{row['dataset']}|{p}x{q}|{method}"
+                cells.append(_cell(name, key, "speedup",
+                                   stats["speedup"], "higher"))
+    elif kind == "mutate_bench":
+        for row in artifact["graphs"]:
+            key = row["graph"]
+            cells.append(_cell(name, key, "incremental_edits_per_s",
+                               row["incremental_edits_per_s"], "higher"))
+            cells.append(_cell(name, key, "speedup_vs_rebuild",
+                               row["speedup_vs_rebuild"], "higher"))
+    elif kind == "approx_speedup":
+        for row in artifact["graphs"]:
+            for c in row["cells"]:
+                p, q = c["query"]
+                key = f"{row['graph']}|{p}x{q}"
+                exact_s = c["exact"]["seconds"]
+                approx_s = c["approx"]["mean_seconds"]
+                if approx_s > 0:
+                    cells.append(_cell(name, key, "speedup_vs_exact",
+                                       exact_s / approx_s, "higher"))
+                cells.append(_cell(name, key, "median_rel_error",
+                                   c["approx"]["median_rel_error"],
+                                   "lower"))
+    elif kind == "serve_bench":
+        cells.append(_cell(name, "serve", "throughput_qps",
+                           artifact["served"]["throughput_qps"],
+                           "higher"))
+        cells.append(_cell(name, "serve", "speedup_vs_naive",
+                           artifact["speedup_vs_naive"], "higher"))
+    return cells
+
+
+def _flag(value: float, prev: float | None,
+          direction: str) -> tuple[str, float | None]:
+    """(flag, improvement factor) vs the previous generation."""
+    if prev is None:
+        return "new", None
+    if prev <= 0 or value <= 0:
+        return "flat", None
+    improvement = prev / value if direction == "lower" else value / prev
+    if improvement >= WIN_BAND:
+        return "win", improvement
+    if improvement <= 1.0 / WIN_BAND:
+        return "regression", improvement
+    return "flat", improvement
+
+
+def _previous_values(previous: dict | None) -> dict[tuple, float]:
+    if not previous:
+        return {}
+    return {(c["artifact"], c["cell"], c["metric"]): float(c["value"])
+            for c in previous.get("cells", [])}
+
+
+def build_leaderboard(artifacts_dir, *,
+                      previous: dict | None = None) -> dict:
+    """Assemble the leaderboard artifact from a directory of BENCH_*.
+
+    ``previous`` is the prior leaderboard dict (or None on the first
+    generation); when omitted, an existing ``BENCH_leaderboard.json``
+    in the directory is read as the baseline before being replaced.
+    """
+    artifacts_dir = Path(artifacts_dir)
+    if previous is None:
+        prev_path = artifacts_dir / f"{LEADERBOARD_STEM}.json"
+        if prev_path.exists():
+            with open(prev_path, "r", encoding="utf-8") as fh:
+                previous = json.load(fh)
+    prev_values = _previous_values(previous)
+
+    sources = collect_artifacts(artifacts_dir)
+    cells: list[dict] = []
+    for name, artifact in sources:
+        cells.extend(extract_cells(name, artifact))
+    for cell in cells:
+        prev = prev_values.get((cell["artifact"], cell["cell"],
+                                cell["metric"]))
+        flag, improvement = _flag(cell["value"], prev, cell["direction"])
+        cell["previous"] = prev
+        cell["improvement"] = improvement
+        cell["flag"] = flag
+
+    flags = [c["flag"] for c in cells]
+    return {
+        "kind": "leaderboard",
+        "generated": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "win_band": WIN_BAND,
+        "artifacts": [name for name, _ in sources],
+        "summary": {f: flags.count(f)
+                    for f in ("win", "regression", "flat", "new")},
+        "cells": cells,
+    }
+
+
+def render_markdown(board: dict) -> str:
+    """The leaderboard as a markdown waterfall, grouped by artifact."""
+    summary = board["summary"]
+    lines = ["# BENCH leaderboard", "",
+             f"Generated {board['generated']} from "
+             f"{len(board['artifacts'])} artifacts: "
+             + ", ".join(f"`{a}`" for a in board["artifacts"]), "",
+             f"**{summary['win']} wins** · "
+             f"**{summary['regression']} regressions** · "
+             f"{summary['flat']} flat · {summary['new']} new "
+             f"(band ±{(board['win_band'] - 1) * 100:.0f}%)", ""]
+    marks = {"win": "✅ win", "regression": "❌ regression",
+             "flat": "· flat", "new": "★ new"}
+    by_artifact: dict[str, list[dict]] = {}
+    for cell in board["cells"]:
+        by_artifact.setdefault(cell["artifact"], []).append(cell)
+    for name in board["artifacts"]:
+        rows = by_artifact.get(name, [])
+        if not rows:
+            continue
+        lines += [f"## {name}", "",
+                  "| cell | metric | value | previous | change | flag |",
+                  "|---|---|---:|---:|---:|---|"]
+        for c in rows:
+            prev = "—" if c["previous"] is None else f"{c['previous']:.4g}"
+            change = ("—" if c["improvement"] is None
+                      else f"{(c['improvement'] - 1) * 100:+.1f}%")
+            # cell keys use "|" as a field separator; escape it so the
+            # markdown table stays intact
+            label = c["cell"].replace("|", "\\|")
+            lines.append(f"| {label} | {c['metric']} "
+                         f"| {c['value']:.4g} | {prev} | {change} "
+                         f"| {marks[c['flag']]} |")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def write_leaderboard(artifacts_dir, *, out_json=None,
+                      out_md=None) -> tuple[Path, Path, dict]:
+    """Build and write both leaderboard outputs; returns their paths."""
+    artifacts_dir = Path(artifacts_dir)
+    board = build_leaderboard(artifacts_dir)
+    json_path = Path(out_json) if out_json else \
+        artifacts_dir / f"{LEADERBOARD_STEM}.json"
+    md_path = Path(out_md) if out_md else \
+        artifacts_dir / f"{LEADERBOARD_STEM}.md"
+    json_path.parent.mkdir(parents=True, exist_ok=True)
+    json_path.write_text(json.dumps(board, indent=1, sort_keys=True)
+                         + "\n", encoding="utf-8")
+    md_path.parent.mkdir(parents=True, exist_ok=True)
+    md_path.write_text(render_markdown(board) + "\n", encoding="utf-8")
+    return json_path, md_path, board

@@ -1,0 +1,63 @@
+"""Structured logging for the ``repro`` package.
+
+Everything logs through the ``logging.getLogger("repro")`` hierarchy —
+``repro.service.scheduler``, ``repro.plan.planner``, ``repro.service
+.pool`` and friends obtain children via :func:`get_logger`.  Importing
+this module installs a :class:`logging.NullHandler` on the root
+``repro`` logger, the library-friendly default: a program embedding the
+package sees nothing unless it configures handlers itself.
+
+The CLI's ``-v/--verbose`` flag calls :func:`configure_logging`, which
+installs one stderr handler (idempotently — repeat calls reconfigure
+the same handler rather than stacking duplicates): ``-v`` shows INFO
+(evictions, rebuilds, expiries), ``-vv`` DEBUG.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+__all__ = ["configure_logging", "get_logger"]
+
+_ROOT = "repro"
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+
+logging.getLogger(_ROOT).addHandler(logging.NullHandler())
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy.
+
+    Pass ``__name__`` (already ``repro.*`` for package modules); any
+    other name is re-rooted under ``repro.`` so one hierarchy catches
+    everything.
+    """
+    if name != _ROOT and not name.startswith(_ROOT + "."):
+        name = f"{_ROOT}.{name}"
+    return logging.getLogger(name)
+
+
+def configure_logging(verbosity: int = 1, *, stream=None) -> logging.Logger:
+    """Wire a stderr handler onto the ``repro`` logger.
+
+    ``verbosity`` 0 removes the handler again (back to NullHandler
+    silence), 1 shows INFO, 2+ DEBUG.  Returns the root ``repro``
+    logger.  Idempotent: the single managed handler is replaced, never
+    duplicated, so tests and repeated CLI invocations in one process
+    stay clean.
+    """
+    root = logging.getLogger(_ROOT)
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_managed", False):
+            root.removeHandler(handler)
+    if verbosity <= 0:
+        root.setLevel(logging.NOTSET)
+        return root
+    handler = logging.StreamHandler(stream if stream is not None
+                                    else sys.stderr)
+    handler.setFormatter(logging.Formatter(_FORMAT))
+    handler._repro_managed = True
+    root.addHandler(handler)
+    root.setLevel(logging.INFO if verbosity == 1 else logging.DEBUG)
+    return root

@@ -1,0 +1,178 @@
+"""Tiny structural validation for ``BENCH_*`` benchmark artifacts.
+
+The benchmark suites write their artifacts with plain ``json.dump`` —
+a refactor that renames a key or drops a section produces a file that
+*looks* fine until the leaderboard (or a human) reads it weeks later.
+The CI ``leaderboard`` job validates every artifact against the specs
+here and fails on violations; perf regressions never fail the job,
+malformed artifacts always do.
+
+This is deliberately not JSON Schema — no dependency, four spec forms:
+
+* a ``dict`` — the value must be a dict containing every listed key,
+  each validated recursively (extra keys are allowed: artifacts may
+  grow fields without breaking older validators);
+* a one-element ``list`` — the value must be a list, every element
+  validated against the single spec;
+* a ``type`` or tuple of types — ``isinstance`` check;
+* a ``str`` — the value must equal it exactly (the ``kind`` tags).
+"""
+
+from __future__ import annotations
+
+__all__ = ["ARTIFACT_SCHEMAS", "SchemaError", "validate",
+           "validate_artifact"]
+
+#: accepts ints too (json numbers), rejects bools (a bool IS an int in
+#: Python, so plain isinstance would wave ``true`` through as a count)
+NUMBER = (int, float)
+
+
+class SchemaError(ValueError):
+    """An artifact does not match its structural spec."""
+
+
+def _check(value, spec, path: str) -> None:
+    where = path or "$"
+    if isinstance(spec, str):
+        if value != spec:
+            raise SchemaError(f"{where}: expected {spec!r}, got {value!r}")
+        return
+    if isinstance(spec, dict):
+        if not isinstance(value, dict):
+            raise SchemaError(f"{where}: expected an object, got "
+                              f"{type(value).__name__}")
+        for key, sub in spec.items():
+            if key not in value:
+                raise SchemaError(f"{where}: missing key {key!r}")
+            _check(value[key], sub, f"{where}.{key}")
+        return
+    if isinstance(spec, list):
+        if len(spec) != 1:
+            raise AssertionError("list specs hold exactly one element spec")
+        if not isinstance(value, list):
+            raise SchemaError(f"{where}: expected a list, got "
+                              f"{type(value).__name__}")
+        for i, item in enumerate(value):
+            _check(item, spec[0], f"{where}[{i}]")
+        return
+    # type / tuple-of-types leaf
+    if isinstance(value, bool) and bool not in (
+            spec if isinstance(spec, tuple) else (spec,)):
+        raise SchemaError(f"{where}: expected "
+                          f"{_type_names(spec)}, got bool")
+    if not isinstance(value, spec):
+        raise SchemaError(f"{where}: expected {_type_names(spec)}, got "
+                          f"{type(value).__name__}")
+
+
+def _type_names(spec) -> str:
+    types = spec if isinstance(spec, tuple) else (spec,)
+    return "/".join(t.__name__ for t in types)
+
+
+def validate(value, spec, *, name: str = "") -> None:
+    """Raise :class:`SchemaError` unless ``value`` matches ``spec``."""
+    _check(value, spec, name)
+
+
+#: structural specs per artifact ``kind`` — required keys only; the
+#: writers are free to add fields without touching these
+ARTIFACT_SCHEMAS: dict[str, dict] = {
+    "plan_accuracy": {
+        "kind": "plan_accuracy",
+        "generated": str,
+        "datasets": [{
+            "dataset": str,
+            "query": [int],
+            "backend": str,
+            "auto_method": str,
+            "auto_predicted_seconds": NUMBER,
+            "auto_measured_seconds": NUMBER,
+            "best_method": str,
+            "best_measured_seconds": NUMBER,
+            "ratio_vs_best": NUMBER,
+            "predicted_seconds": dict,
+            "measured_seconds": dict,
+            "counts": dict,
+        }],
+    },
+    "serve_bench": {
+        "kind": "serve_bench",
+        "spec": dict,
+        "scheduler": dict,
+        "served": {"completed": int, "throughput_qps": NUMBER},
+        "telemetry": dict,
+        "naive": {"throughput_qps": NUMBER},
+        "speedup_vs_naive": NUMBER,
+    },
+    "native_speedup": {
+        "kind": "native_speedup",
+        "generated": str,
+        "datasets": [{
+            "dataset": str,
+            "query": [int],
+            "methods": dict,
+        }],
+    },
+    "mutate_bench": {
+        "kind": "mutate_bench",
+        "method": str,
+        "backend": str,
+        "graphs": [{
+            "graph": str,
+            "incremental_edits_per_s": NUMBER,
+            "rebuild_edits_per_s": NUMBER,
+            "speedup_vs_rebuild": NUMBER,
+            "mismatches": list,
+        }],
+    },
+    "approx_speedup": {
+        "kind": "approx_speedup",
+        "generated": str,
+        "graphs": [{
+            "graph": str,
+            "cells": [{
+                "query": [int],
+                "exact": {"method": str, "backend": str,
+                          "count": int, "seconds": NUMBER},
+                "approx": {"mean_seconds": NUMBER,
+                           "median_rel_error": NUMBER,
+                           "runs": list},
+            }],
+        }],
+    },
+    "leaderboard": {
+        "kind": "leaderboard",
+        "generated": str,
+        "cells": [{
+            "artifact": str,
+            "cell": str,
+            "metric": str,
+            "value": NUMBER,
+            "flag": str,
+        }],
+    },
+}
+
+
+def validate_artifact(artifact: dict, *, name: str = "") -> str:
+    """Validate one loaded artifact against the spec for its ``kind``.
+
+    Returns the kind on success; raises :class:`SchemaError` on a
+    missing/unknown kind or any structural mismatch.
+    """
+    where = name or "artifact"
+    if not isinstance(artifact, dict):
+        raise SchemaError(f"{where}: expected an object, got "
+                          f"{type(artifact).__name__}")
+    kind = artifact.get("kind")
+    if kind is None:
+        raise SchemaError(f"{where}: missing key 'kind'")
+    spec = ARTIFACT_SCHEMAS.get(kind)
+    if spec is None:
+        known = ", ".join(sorted(ARTIFACT_SCHEMAS))
+        raise SchemaError(f"{where}: unknown artifact kind {kind!r} "
+                          f"(known: {known})")
+    validate(artifact, spec, name=where)
+    return kind

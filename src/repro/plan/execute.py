@@ -11,8 +11,12 @@ counter to be reachable from every layer.
 
 from __future__ import annotations
 
+import time
+
 from repro.engine.base import KernelBackend, resolve_backend
 from repro.errors import PlanError, QueryError
+from repro.graph.stats import graph_fingerprint
+from repro.obs import trace as _trace
 from repro.plan.ir import CountPlan
 from repro.plan.planner import Planner, prepared_keys
 from repro.plan.registry import AUTO, get_method
@@ -138,9 +142,25 @@ def warm_session(session, plan: CountPlan) -> None:
                             f"requirement {key!r}")
 
 
+def _headline(result, elapsed: float) -> float:
+    """The headline seconds of one run, for the cost ledger.
+
+    Mirrors the headline convention of :class:`repro.bench.runner
+    .MethodRun`: instrumented engines report simulated device seconds,
+    everything else wall clock (with our own measurement as the
+    fallback for results that carry neither).
+    """
+    if getattr(result, "backend_instrumented", False):
+        device = getattr(result, "device_seconds", None)
+        if device is not None:
+            return float(device)
+    wall = getattr(result, "wall_seconds", None)
+    return float(wall) if wall is not None else elapsed
+
+
 def execute_plan(plan: CountPlan, graph, query=None, *,
                  session=None, spec=None, backend=None,
-                 options=None, threads: int = 16):
+                 options=None, threads: int = 16, ledger=None):
     """Execute ``plan`` against ``graph`` and return the
     :class:`~repro.core.counts.CountResult`.
 
@@ -153,6 +173,12 @@ def execute_plan(plan: CountPlan, graph, query=None, *,
     :func:`~repro.engine.base.resolve_backend`.  ``options`` overrides
     the method's registered defaults (the GBC ablation variants carry
     theirs in the registry).
+
+    ``ledger=`` (defaulting to the session's, when it carries one)
+    receives the run's measured headline seconds — this is the single
+    site where every dispatcher's real executions feed the
+    :class:`repro.obs.ledger.CostLedger`, because every dispatcher
+    already resolves here.
     """
     # deferred: the counter modules import repro.plan.registry at their
     # own import time, so repro.plan must not import repro.core eagerly
@@ -164,23 +190,40 @@ def execute_plan(plan: CountPlan, graph, query=None, *,
     elif not plan.matches(query):
         raise PlanError(f"plan was made for ({plan.p}, {plan.q}) but "
                         f"asked to execute ({query.p}, {query.q})")
+    if ledger is None:
+        ledger = getattr(session, "ledger", None)
     engine = resolve_backend(backend if backend is not None
                              else plan.backend,
                              spec, workers=plan.workers)
     if options is None and mspec.default_options is not None:
         options = mspec.default_options()
-    if session is not None and mspec.supports_sessions:
-        warm_session(session, plan)
-    available = {
-        "backend": engine,
-        "session": session if mspec.supports_sessions else None,
-        "layer": plan.layer,
-        "spec": spec,
-        "options": options,
-        "threads": threads,
-        "samples": plan.samples,
-        "seed": plan.seed,
-    }
-    kwargs = {name: value for name, value in available.items()
-              if name in mspec.accepts}
-    return mspec.runner(graph, query, **kwargs)
+    with _trace.span("plan.execute", method=plan.method,
+                     backend=engine.name, p=plan.p, q=plan.q,
+                     source=plan.source) as sp:
+        if session is not None and mspec.supports_sessions:
+            warm_session(session, plan)
+        available = {
+            "backend": engine,
+            "session": session if mspec.supports_sessions else None,
+            "layer": plan.layer,
+            "spec": spec,
+            "options": options,
+            "threads": threads,
+            "samples": plan.samples,
+            "seed": plan.seed,
+        }
+        kwargs = {name: value for name, value in available.items()
+                  if name in mspec.accepts}
+        t0 = time.perf_counter()
+        with _trace.span("kernel.batch", method=plan.method,
+                         backend=engine.name):
+            result = mspec.runner(graph, query, **kwargs)
+        elapsed = time.perf_counter() - t0
+        if ledger is not None:
+            fingerprint = session.fingerprint if session is not None \
+                else graph_fingerprint(graph)
+            ledger.record(fingerprint, plan.p, plan.q, plan.method,
+                          engine.name, _headline(result, elapsed),
+                          predicted_seconds=plan.predicted_seconds)
+        sp.annotate(seconds=elapsed, count=getattr(result, "count", None))
+    return result

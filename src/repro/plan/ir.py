@@ -39,6 +39,12 @@ class CountPlan:
     #: predicted headline seconds (0.0 for explicit plans, which skip
     #: the probe entirely)
     predicted_seconds: float = 0.0
+    #: EWMA-measured seconds from the planner's CostLedger cell, when
+    #: one had history for this (fingerprint, shape, method, backend)
+    observed_seconds: float | None = None
+    #: ledger-calibrated prediction (predicted * observed/predicted
+    #: ratio); when set, ranking used this instead of predicted_seconds
+    calibrated_seconds: float | None = None
     #: how the plan was made: "explicit" or "auto"
     source: str = "explicit"
     #: one-line human rationale for ``repro plan explain``
@@ -82,6 +88,8 @@ class CountPlan:
             "layer": self.layer,
             "prepared": list(self.prepared),
             "predicted_seconds": self.predicted_seconds,
+            "observed_seconds": self.observed_seconds,
+            "calibrated_seconds": self.calibrated_seconds,
             "source": self.source,
             "reason": self.reason,
             "signals": dict(self.signals),

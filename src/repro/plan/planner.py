@@ -35,6 +35,8 @@ from repro.errors import DeadlineExceededError, PlanError, QueryError
 from repro.graph.bipartite import LAYER_U, LAYER_V
 from repro.graph.priority import select_layer, wedge_mass
 from repro.graph.stats import cached_stats, graph_fingerprint
+from repro.obs import trace as _trace
+from repro.obs.log import get_logger
 from repro.plan.ir import CountPlan
 from repro.plan.registry import (
     CostSignals,
@@ -47,6 +49,8 @@ from repro.plan.registry import (
 )
 
 __all__ = ["Planner", "prepared_keys"]
+
+log = get_logger(__name__)
 
 #: smallest sample budget the planner will size under a deadline — below
 #: this the std_error is too noisy to mean anything
@@ -139,11 +143,18 @@ class Planner:
     root-sampling probe (signals are cached per (p, q, layer), so a
     batch of same-shape queries probes once).  ``spec`` is the device
     the SIMT cost model prices simulated-device candidates with.
+
+    ``ledger`` (a :class:`repro.obs.ledger.CostLedger`) blends measured
+    history into the exact-tier ranking: candidates whose (fingerprint,
+    shape, method, backend) cell carries an observed/predicted ratio
+    are re-priced as ``calibrated = predicted * ratio`` and ranked on
+    that.  Candidate *counts* are unaffected — every exact method
+    returns the same number — only the ordering may change.
     """
 
     def __init__(self, graph, spec=None, session=None, *,
                  samples: int = 8, seed: int = 0,
-                 threads: int = 16) -> None:
+                 threads: int = 16, ledger=None) -> None:
         if session is not None:
             session.check_owns(graph)
             if spec is None:
@@ -154,6 +165,7 @@ class Planner:
         self.samples = int(samples)
         self.seed = int(seed)
         self.threads = int(threads)
+        self.ledger = ledger
         self._stats = None
         self._fp: str | None = None
         self._probes: dict[tuple, object] = {}
@@ -297,22 +309,38 @@ class Planner:
             raise QueryError("workers= requires the parallel engine; the "
                              "simulated engine's accounting is serial")
         engine_names = auto_backends() if pinned is None else (pinned,)
-        if accuracy == "approx":
-            return self._approx_rank(query, engine_names, workers, layer,
-                                     deadline)
-        plans = self._exact_rank(query, engine_names, workers, layer)
-        if deadline is not None \
-                and plans[0].predicted_seconds > deadline:
-            if accuracy == "auto":
-                return self._approx_rank(query, engine_names, workers,
-                                         layer, deadline)
-            raise DeadlineExceededError(
-                f"best exact plan ({plans[0].method} on "
-                f"{plans[0].backend}) predicts "
-                f"{plans[0].predicted_seconds:.3g}s against a "
-                f"{deadline:.3g}s deadline; retry with accuracy='approx' "
-                f"or 'auto' to trade precision for latency")
-        return plans
+        with _trace.span("plan.rank", p=query.p, q=query.q,
+                         accuracy=accuracy) as sp:
+            if accuracy == "approx":
+                plans = self._approx_rank(query, engine_names, workers,
+                                          layer, deadline)
+                sp.annotate(candidates=len(plans), chosen=plans[0].method)
+                return plans
+            plans = self._exact_rank(query, engine_names, workers, layer)
+            best_cost = plans[0].calibrated_seconds \
+                if plans[0].calibrated_seconds is not None \
+                else plans[0].predicted_seconds
+            if deadline is not None and best_cost > deadline:
+                if accuracy == "auto":
+                    plans = self._approx_rank(query, engine_names, workers,
+                                              layer, deadline)
+                    sp.annotate(candidates=len(plans),
+                                chosen=plans[0].method, tier="approx")
+                    return plans
+                log.warning(
+                    "deadline infeasible: best exact plan %s on %s "
+                    "predicts %.3gs against a %.3gs deadline (%dx%d)",
+                    plans[0].method, plans[0].backend, best_cost,
+                    deadline, query.p, query.q)
+                raise DeadlineExceededError(
+                    f"best exact plan ({plans[0].method} on "
+                    f"{plans[0].backend}) predicts "
+                    f"{best_cost:.3g}s against a "
+                    f"{deadline:.3g}s deadline; retry with "
+                    f"accuracy='approx' or 'auto' to trade precision "
+                    f"for latency")
+            sp.annotate(candidates=len(plans), chosen=plans[0].method)
+            return plans
 
     def _exact_rank(self, query, engine_names, workers: int | None,
                     layer: str | None) -> list[CountPlan]:
@@ -332,16 +360,34 @@ class Planner:
                 if layer is not None and not mspec.supports_layer:
                     continue
                 predicted = float(mspec.cost(signals))
-                plans.append((predicted, eng_pos, position, CountPlan(
+                observed = calibrated = None
+                if self.ledger is not None:
+                    cell = self.ledger.lookup(
+                        self._fingerprint(), query.p, query.q,
+                        mspec.name, engine_name)
+                    if cell is not None:
+                        observed = cell.observed_seconds
+                        if cell.ratio is not None:
+                            calibrated = predicted * cell.ratio
+                rank_cost = calibrated if calibrated is not None \
+                    else predicted
+                reason = (f"predicted {predicted:.3g}s on {engine_name} "
+                          f"from a {self.samples}-root probe "
+                          f"(seed {self.seed})")
+                if calibrated is not None:
+                    reason += (f"; ledger-calibrated to "
+                               f"{calibrated:.3g}s from "
+                               f"{cell.observations} measured run(s)")
+                plans.append((rank_cost, eng_pos, position, CountPlan(
                     method=mspec.name, p=query.p, q=query.q,
                     backend=engine_name, workers=workers, layer=layer,
                     prepared=prepared_keys(mspec, self.graph, query,
                                            layer, backend=engine_name),
                     predicted_seconds=predicted,
+                    observed_seconds=observed,
+                    calibrated_seconds=calibrated,
                     source="auto",
-                    reason=(f"predicted {predicted:.3g}s on {engine_name} "
-                            f"from a {self.samples}-root probe "
-                            f"(seed {self.seed})"),
+                    reason=reason,
                     signals={
                         "population": signals.population,
                         "basic_population": signals.basic_population,
@@ -472,7 +518,14 @@ class Planner:
         engine_name = _backend_name(backend, workers) or "fast"
         signals = self.signals(query, backend=engine_name,
                                workers=workers, layer=layer)
-        return float(mspec.cost(signals))
+        predicted = float(mspec.cost(signals))
+        if self.ledger is not None:
+            calibrated = self.ledger.calibrated(
+                self._fingerprint(), query.p, query.q, method,
+                engine_name, predicted)
+            if calibrated is not None:
+                return calibrated
+        return predicted
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"Planner({self.graph!r}, samples={self.samples}, "

@@ -47,7 +47,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Iterable
 
 import numpy as np
@@ -63,6 +63,7 @@ from repro.graph.stats import graph_fingerprint
 from repro.graph.twohop import TwoHopIndex, WedgeIndex, build_wedge_index
 from repro.htb.htb import HTB, htb_from_graph, htb_from_two_hop
 from repro.errors import DeadlineExceededError
+from repro.obs import trace as _trace
 from repro.plan import (AUTO, CountPlan, Planner, ensure_accuracy,
                         execute_plan, explicit_plan)
 
@@ -240,9 +241,14 @@ class GraphSession:
     epoch: int | None = None
 
     def __init__(self, graph: BipartiteGraph, spec=None,
-                 max_cached_results: int = 256) -> None:
+                 max_cached_results: int = 256, *,
+                 ledger=None) -> None:
         self._graph = graph
         self.spec = spec
+        #: optional :class:`repro.obs.ledger.CostLedger` — executions
+        #: report measured seconds into it, and the session's planner
+        #: calibrates its rankings from it
+        self.ledger = ledger
         self._lock = threading.RLock()
         self._fingerprint = graph_fingerprint(graph)
         self.stats = SessionStats()
@@ -296,8 +302,9 @@ class GraphSession:
         with self._lock:
             got = self._wedges.get(layer)
             if got is None:
-                self.stats.wedge_builds += 1
-                got = build_wedge_index(self.anchored(layer), LAYER_U)
+                with _trace.span("prepare.wedges", layer=layer):
+                    self.stats.wedge_builds += 1
+                    got = build_wedge_index(self.anchored(layer), LAYER_U)
                 self._wedges[layer] = got
             return got
 
@@ -307,9 +314,10 @@ class GraphSession:
             key = (layer, int(k))
             got = self._orders.get(key)
             if got is None:
-                self.stats.order_builds += 1
-                got = priority_order_from_sizes(
-                    self.wedges(layer).n2k_sizes(k))
+                with _trace.span("prepare.order", layer=layer, k=int(k)):
+                    self.stats.order_builds += 1
+                    got = priority_order_from_sizes(
+                        self.wedges(layer).n2k_sizes(k))
                 self._orders[key] = got
             return got
 
@@ -329,9 +337,11 @@ class GraphSession:
             key = (layer, int(k), "priority")
             got = self._indexes.get(key)
             if got is None:
-                self.stats.index_builds += 1
-                got = self.wedges(layer).two_hop_index(
-                    k, min_priority_rank=self.priority_rank(layer, k))
+                with _trace.span("prepare.two_hop", layer=layer,
+                                 k=int(k)):
+                    self.stats.index_builds += 1
+                    got = self.wedges(layer).two_hop_index(
+                        k, min_priority_rank=self.priority_rank(layer, k))
                 self._indexes[key] = got
             return got
 
@@ -342,10 +352,11 @@ class GraphSession:
             key = (LAYER_U, int(k), "id")
             got = self._indexes.get(key)
             if got is None:
-                self.stats.index_builds += 1
-                ids = np.arange(self._graph.num_u, dtype=np.int64)
-                got = self.wedges(LAYER_U).two_hop_index(
-                    k, min_priority_rank=ids)
+                with _trace.span("prepare.two_hop_id", k=int(k)):
+                    self.stats.index_builds += 1
+                    ids = np.arange(self._graph.num_u, dtype=np.int64)
+                    got = self.wedges(LAYER_U).two_hop_index(
+                        k, min_priority_rank=ids)
                 self._indexes[key] = got
             return got
 
@@ -355,14 +366,17 @@ class GraphSession:
         with self._lock:
             htb1 = self._htb_adj.get(layer)
             if htb1 is None:
-                self.stats.htb_adj_builds += 1
-                htb1 = htb_from_graph(self.anchored(layer), LAYER_U)
+                with _trace.span("prepare.htb_adj", layer=layer):
+                    self.stats.htb_adj_builds += 1
+                    htb1 = htb_from_graph(self.anchored(layer), LAYER_U)
                 self._htb_adj[layer] = htb1
             key = (layer, int(k))
             htb2 = self._htb_two_hop.get(key)
             if htb2 is None:
-                self.stats.htb_two_hop_builds += 1
-                htb2 = htb_from_two_hop(self.two_hop_index(layer, k))
+                with _trace.span("prepare.htb_two_hop", layer=layer,
+                                 k=int(k)):
+                    self.stats.htb_two_hop_builds += 1
+                    htb2 = htb_from_two_hop(self.two_hop_index(layer, k))
                 self._htb_two_hop[key] = htb2
             return htb1, htb2
 
@@ -377,10 +391,13 @@ class GraphSession:
             if got is None:
                 from repro.engine.native import build_native_pack
 
-                self.stats.native_pack_builds += 1
-                got = build_native_pack(self.anchored(layer),
-                                        self.two_hop_index(layer, k),
-                                        layer, k)
+                with _trace.span("prepare.native_pack", layer=layer,
+                                 k=int(k)) as sp:
+                    self.stats.native_pack_builds += 1
+                    got = build_native_pack(self.anchored(layer),
+                                            self.two_hop_index(layer, k),
+                                            layer, k)
+                    sp.annotate(bytes=got.nbytes)
                 self._native_packs[key] = got
             return got
 
@@ -421,7 +438,7 @@ class GraphSession:
         with self._lock:
             if self._planner is None:
                 self._planner = Planner(self._graph, spec=self.spec,
-                                        session=self)
+                                        session=self, ledger=self.ledger)
             return self._planner
 
     def plan(self, query: BicliqueQuery, *,
@@ -559,7 +576,9 @@ class GraphSession:
                                 samples=None if chosen is None
                                 else chosen.samples,
                                 seed=None if chosen is None
-                                else chosen.seed)
+                                else chosen.seed,
+                                predicted=0.0 if chosen is None
+                                else chosen.predicted_seconds)
         if use_cache:
             self.results.put(key, result)
         return result
@@ -568,7 +587,8 @@ class GraphSession:
                   engine: KernelBackend, layer: str | None,
                   options: GBCOptions | None, threads: int,
                   samples: int | None = None,
-                  seed: int | None = None) -> CountResult:
+                  seed: int | None = None,
+                  predicted: float = 0.0) -> CountResult:
         # repro.plan.execute_plan is the one dispatch site for the whole
         # repo; an unregistered name raises UnknownMethodError (a
         # QueryError) from explicit_plan before anything runs
@@ -576,6 +596,10 @@ class GraphSession:
                              backend=engine,
                              workers=getattr(engine, "workers", None),
                              layer=layer, samples=samples, seed=seed)
+        if predicted > 0.0:
+            # auto runs keep the planner's prediction on the executed
+            # plan, so the ledger can learn the observed/predicted ratio
+            plan = replace(plan, predicted_seconds=predicted)
         return execute_plan(plan, self._graph, query, session=self,
                             spec=self.spec, backend=engine,
                             options=options, threads=threads)

@@ -38,9 +38,12 @@ from dataclasses import dataclass, field
 from repro.dynamic import DynamicGraphSession
 from repro.errors import ServiceError
 from repro.graph.bipartite import BipartiteGraph
+from repro.obs.log import get_logger
 from repro.query import GraphSession
 
 __all__ = ["SessionPool", "PoolStats", "graph_resident_bytes"]
+
+log = get_logger(__name__)
 
 
 def graph_resident_bytes(graph: BipartiteGraph) -> int:
@@ -98,7 +101,8 @@ class SessionPool:
 
     def __init__(self, max_sessions: int = 8,
                  max_bytes: int | None = None, *,
-                 spec=None, max_cached_results: int = 256) -> None:
+                 spec=None, max_cached_results: int = 256,
+                 ledger=None) -> None:
         if max_sessions < 1:
             raise ServiceError(
                 f"max_sessions must be >= 1, got {max_sessions}")
@@ -108,6 +112,9 @@ class SessionPool:
         self.max_bytes = None if max_bytes is None else int(max_bytes)
         self.spec = spec
         self.max_cached_results = int(max_cached_results)
+        #: shared CostLedger handed to every pooled session, so one
+        #: serving process accumulates measurements across graphs
+        self.ledger = ledger
         self.stats = PoolStats()
         self._lock = threading.RLock()
         self._loaders: dict[str, object] = {}
@@ -210,8 +217,13 @@ class SessionPool:
                     return got
                 session = GraphSession(
                     graph, spec=self.spec,
-                    max_cached_results=self.max_cached_results)
+                    max_cached_results=self.max_cached_results,
+                    ledger=self.ledger)
                 self.stats.builds += 1
+                if self.stats.evicted_by_name.get(name):
+                    log.info("rebuilding %r after eviction "
+                             "(evicted %d time(s) so far)", name,
+                             self.stats.evicted_by_name[name])
                 self._sessions[name] = session
                 self._bytes[name] = graph_resident_bytes(graph)
                 self._enforce_budgets(keep=name)
@@ -232,6 +244,8 @@ class SessionPool:
                 self.stats.evictions += 1
                 by = self.stats.evicted_by_name
                 by[name] = by.get(name, 0) + 1
+                log.info("evicted session %r (eviction #%d for this "
+                         "name)", name, by[name])
             return dropped
 
     # -- the mutation path ---------------------------------------------

@@ -32,6 +32,7 @@ direct single-query calls on every backend (tested in
 from __future__ import annotations
 
 import asyncio
+import itertools
 import threading
 import time
 from concurrent.futures import Future
@@ -40,11 +41,15 @@ from dataclasses import dataclass, field
 from repro.core.counts import BicliqueQuery, CountResult
 from repro.errors import (DeadlineExceededError, QueueFullError,
                           ServiceClosedError, ServiceError)
+from repro.obs import trace as _trace
+from repro.obs.log import get_logger
 from repro.plan import ensure_accuracy, ensure_known
 from repro.service.pool import SessionPool
 from repro.service.telemetry import Telemetry
 
 __all__ = ["Scheduler", "SchedulerConfig"]
+
+log = get_logger(__name__)
 
 
 @dataclass(frozen=True)
@@ -96,6 +101,7 @@ class _Request:
     future: Future
     submitted_at: float
     deadline_at: float | None   # absolute monotonic, None = no deadline
+    rid: int = 0                # per-scheduler request id (trace linkage)
 
 
 @dataclass
@@ -127,6 +133,7 @@ class Scheduler:
         self.config = config or SchedulerConfig(**overrides)
         self.telemetry = telemetry or Telemetry()
         self._cond = threading.Condition()
+        self._rids = itertools.count(1)
         self._buckets: dict[tuple[str, str, str], _Bucket] = {}
         self._pending = 0
         self._closed = False
@@ -198,12 +205,23 @@ class Scheduler:
         with self._cond:
             if self._closed:
                 self.telemetry.record_rejected()
+                log.warning("rejected %s on %r: scheduler is closed",
+                            query, graph)
+                _trace.event("serve.rejected", graph=graph,
+                             reason="closed")
                 raise ServiceClosedError("scheduler is closed")
             if self._pending >= self.config.max_pending:
                 self.telemetry.record_rejected()
+                log.warning("rejected %s on %r: queue full "
+                            "(%d pending, max_pending=%d)",
+                            query, graph, self._pending,
+                            self.config.max_pending)
+                _trace.event("serve.rejected", graph=graph,
+                             reason="queue_full", pending=self._pending)
                 raise QueueFullError(
                     f"{self._pending} requests already pending "
                     f"(max_pending={self.config.max_pending})")
+            req.rid = next(self._rids)
             bucket = self._buckets.get((graph, req.method, req.accuracy))
             if bucket is None:
                 bucket = _Bucket(opened_at=now)
@@ -211,6 +229,8 @@ class Scheduler:
             bucket.items.append(req)
             self._pending += 1
             self.telemetry.record_submit(self._pending)
+            _trace.event("serve.queued", rid=req.rid, graph=graph,
+                         method=req.method, p=query.p, q=query.q)
             self._cond.notify_all()
         return req.future
 
@@ -340,40 +360,59 @@ class Scheduler:
                     f"deadline passed {now - req.deadline_at:.3f}s before "
                     f"execution of {req.query} on {graph!r}"))
                 self.telemetry.record_expired()
+                log.info("expired request %d (%s on %r): deadline "
+                         "passed %.3fs before execution", req.rid,
+                         req.query, graph, now - req.deadline_at)
+                _trace.event("serve.expired", rid=req.rid, graph=graph,
+                             late_s=now - req.deadline_at)
                 continue
             live.append(req)
         if not live:
             return
         self.telemetry.record_batch(len(live))
-        try:
-            session = self.pool.session(graph)
-        except Exception as exc:               # unknown graph, loader bug
-            for req in live:
-                req.future.set_exception(exc)
-                self.telemetry.record_failed()
-            return
-        for req in live:
-            # the budget still standing when the worker reaches the
-            # request becomes a planning constraint: exact tiers admit
-            # against it, "auto" downgrades to the sampling tier
-            deadline_left = None if req.deadline_at is None \
-                else max(req.deadline_at - time.monotonic(), 1e-3)
+        with _trace.span("serve.batch", graph=graph, size=len(live),
+                         method=live[0].method,
+                         rids=[r.rid for r in live]):
             try:
-                result = session.count(req.query, req.method,
-                                       backend=cfg.backend,
-                                       workers=cfg.backend_workers,
-                                       accuracy=req.accuracy,
-                                       deadline=deadline_left)
-            except DeadlineExceededError as exc:
-                req.future.set_exception(exc)
-                self.telemetry.record_expired()
-                continue
-            except Exception as exc:
-                req.future.set_exception(exc)
-                self.telemetry.record_failed()
-                continue
-            req.future.set_result(result)
-            if result.algorithm == "approx":
-                self.telemetry.record_approx()
-            self.telemetry.record_completed(
-                time.monotonic() - req.submitted_at)
+                session = self.pool.session(graph)
+            except Exception as exc:           # unknown graph, loader bug
+                log.warning("batch of %d on %r failed: no session (%s)",
+                            len(live), graph, exc)
+                for req in live:
+                    req.future.set_exception(exc)
+                    self.telemetry.record_failed()
+                return
+            for req in live:
+                # the budget still standing when the worker reaches the
+                # request becomes a planning constraint: exact tiers
+                # admit against it, "auto" downgrades to sampling
+                deadline_left = None if req.deadline_at is None \
+                    else max(req.deadline_at - time.monotonic(), 1e-3)
+                try:
+                    result = session.count(req.query, req.method,
+                                           backend=cfg.backend,
+                                           workers=cfg.backend_workers,
+                                           accuracy=req.accuracy,
+                                           deadline=deadline_left)
+                except DeadlineExceededError as exc:
+                    req.future.set_exception(exc)
+                    self.telemetry.record_expired()
+                    log.info("expired request %d (%s on %r): %s",
+                             req.rid, req.query, graph, exc)
+                    _trace.event("serve.expired", rid=req.rid,
+                                 graph=graph)
+                    continue
+                except Exception as exc:
+                    req.future.set_exception(exc)
+                    self.telemetry.record_failed()
+                    log.warning("request %d (%s on %r) failed: %s",
+                                req.rid, req.query, graph, exc)
+                    continue
+                req.future.set_result(result)
+                if result.algorithm == "approx":
+                    self.telemetry.record_approx()
+                latency = time.monotonic() - req.submitted_at
+                self.telemetry.record_completed(latency)
+                _trace.event("serve.completed", rid=req.rid,
+                             graph=graph, method=result.algorithm,
+                             latency_ms=latency * 1e3)

@@ -49,6 +49,7 @@ class Telemetry:
         self.max_latency_samples = int(max_latency_samples)
         self._lock = threading.Lock()
         self._started_at = time.monotonic()
+        self._started_wall = time.time()
         self.submitted = 0
         self.rejected = 0      #: admission failures (queue full / closed)
         self.expired = 0       #: deadlines missed before execution
@@ -127,6 +128,9 @@ class Telemetry:
             total_batched = sum(s * n for s, n in sizes.items())
             lat = self._latencies_ms
             return {
+                "started_at": time.strftime(
+                    "%Y-%m-%dT%H:%M:%SZ",
+                    time.gmtime(self._started_wall)),
                 "elapsed_seconds": elapsed,
                 "submitted": self.submitted,
                 "rejected": self.rejected,
@@ -149,8 +153,10 @@ class Telemetry:
                 "latency_ms": {
                     "samples": len(lat),
                     "mean": (sum(lat) / len(lat)) if lat else 0.0,
+                    "min": min(lat) if lat else 0.0,
                     "p50": percentile(lat, 50),
                     "p90": percentile(lat, 90),
+                    "p95": percentile(lat, 95),
                     "p99": percentile(lat, 99),
                     "max": max(lat) if lat else 0.0,
                 },

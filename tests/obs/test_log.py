@@ -1,0 +1,68 @@
+"""Structured logging: hierarchy, verbosity wiring, idempotency."""
+
+import io
+import logging
+
+import pytest
+
+from repro.obs.log import configure_logging, get_logger
+
+
+@pytest.fixture(autouse=True)
+def _reset_logging():
+    yield
+    configure_logging(0)
+
+
+def _managed_handlers():
+    root = logging.getLogger("repro")
+    return [h for h in root.handlers
+            if getattr(h, "_repro_managed", False)]
+
+
+class TestGetLogger:
+    def test_names_are_rooted_under_repro(self):
+        assert get_logger("repro.service.pool").name == "repro.service.pool"
+        assert get_logger("service.pool").name == "repro.service.pool"
+        assert get_logger("repro").name == "repro"
+
+    def test_silent_by_default(self):
+        # library rule: a NullHandler on the root, nothing on stderr
+        root = logging.getLogger("repro")
+        assert any(isinstance(h, logging.NullHandler)
+                   for h in root.handlers)
+        assert not _managed_handlers()
+
+
+class TestConfigure:
+    def test_verbosity_levels(self):
+        configure_logging(1)
+        assert logging.getLogger("repro").level == logging.INFO
+        configure_logging(2)
+        assert logging.getLogger("repro").level == logging.DEBUG
+
+    def test_idempotent_reconfigure_keeps_one_handler(self):
+        configure_logging(1)
+        configure_logging(2)
+        configure_logging(1)
+        assert len(_managed_handlers()) == 1
+
+    def test_zero_removes_the_managed_handler(self):
+        configure_logging(1)
+        assert _managed_handlers()
+        configure_logging(0)
+        assert not _managed_handlers()
+
+    def test_messages_reach_the_configured_stream(self):
+        stream = io.StringIO()
+        configure_logging(1, stream=stream)
+        get_logger("repro.test").info("pool evicted %r", "YT")
+        out = stream.getvalue()
+        assert "pool evicted 'YT'" in out
+        assert "repro.test" in out
+
+    def test_debug_suppressed_at_info_verbosity(self):
+        stream = io.StringIO()
+        configure_logging(1, stream=stream)
+        get_logger("repro.test").debug("noise")
+        assert stream.getvalue() == ""

@@ -2,6 +2,9 @@
 
 import json
 import threading
+from datetime import datetime
+
+import pytest
 
 from repro.service.telemetry import Telemetry, percentile
 
@@ -73,6 +76,39 @@ class TestTelemetry:
         assert snap["latency_ms"]["samples"] < 128
         assert snap["completed"] == 1000      # counters stay exact
         assert snap["latency_ms"]["max"] <= 1000.0
+
+    def test_snapshot_reports_min_p95_and_start_time(self):
+        t = Telemetry()
+        for ms in (5.0, 10.0, 20.0, 40.0):
+            t.record_completed(ms / 1e3)
+        snap = t.snapshot()
+        lat = snap["latency_ms"]
+        assert lat["min"] == pytest.approx(5.0)
+        assert lat["p95"] == pytest.approx(40.0)
+        assert lat["min"] <= lat["p50"] <= lat["p95"] <= lat["max"]
+        # started_at is a UTC ISO-8601 instant, stable across snapshots
+        assert snap["started_at"].endswith("Z")
+        datetime.strptime(snap["started_at"], "%Y-%m-%dT%H:%M:%SZ")
+        assert t.snapshot()["started_at"] == snap["started_at"]
+
+    def test_empty_latency_extremes_are_zero(self):
+        lat = Telemetry().snapshot()["latency_ms"]
+        assert lat["min"] == 0.0 and lat["p95"] == 0.0
+
+    def test_decimation_doubles_the_stride_and_keeps_percentiles_sane(self):
+        t = Telemetry(max_latency_samples=64)
+        for i in range(1000):
+            t.record_completed(0.001 * (i + 1))   # 1ms .. 1000ms ramp
+        # stride doubles on every cap hit, so the sample count stays
+        # bounded while the retained samples still span the ramp
+        assert t._latency_stride > 1
+        assert t._latency_stride & (t._latency_stride - 1) == 0
+        snap = t.snapshot()["latency_ms"]
+        assert snap["samples"] <= 64
+        assert 0.0 < snap["min"] < snap["p50"] < snap["p95"] <= 1000.0
+        # late (large) samples survive decimation: p95 is in the top
+        # quarter of the ramp, not stuck on early values
+        assert snap["p95"] > 750.0
 
     def test_concurrent_recording_is_exact(self):
         t = Telemetry()

@@ -249,6 +249,89 @@ class TestAccuracyTier:
             artifact["served"]["completed"] == 20
 
 
+class TestObservability:
+    def test_count_trace_writes_jsonl_and_summarize_renders(
+            self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "t.jsonl"
+        assert main(["count", "--dataset", "YT", "--scale", "tiny",
+                     "-p", "2", "-q", "2", "--method", "auto",
+                     "--trace", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert f"-> {path}" in out
+        records = [json.loads(line) for line in path.read_text().split("\n")
+                   if line]
+        names = {r["name"] for r in records}
+        assert "plan.rank" in names and "plan.execute" in names
+        assert "kernel.batch" in names
+        # tracing is switched back off after the run
+        from repro.obs.trace import tracing_enabled
+        assert not tracing_enabled()
+
+        assert main(["trace", "summarize", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "plan.execute" in out
+        assert "self ms" in out
+
+    def test_trace_summarize_missing_file_errors(self, tmp_path, capsys):
+        assert main(["trace", "summarize",
+                     str(tmp_path / "absent.jsonl")]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_plan_explain_ledger_measure_then_calibrated_rerun(
+            self, tmp_path, capsys):
+        ledger = tmp_path / "costs.json"
+        argv = ["plan", "explain", "--dataset", "YT", "--scale", "tiny",
+                "-p", "2", "-q", "2", "--ledger", str(ledger)]
+        assert main(argv + ["--measure"]) == 0
+        first = capsys.readouterr().out
+        assert "observed" in first and "calibrated" in first
+        assert "ledger:" in first
+        assert ledger.exists()
+        # second invocation loads the measurements back and calibrates
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "ledger-calibrated" in second
+
+    def test_leaderboard_command(self, tmp_path, capsys):
+        import json
+
+        artifact = {
+            "kind": "native_speedup",
+            "generated": "2026-08-08T00:00:00",
+            "datasets": [{"dataset": "YT", "query": [3, 3],
+                          "methods": {"GBC": {"speedup": 2.0}}}],
+        }
+        (tmp_path / "BENCH_native.json").write_text(json.dumps(artifact))
+        assert main(["leaderboard", "--artifacts", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "1 cell(s) from 1 artifact(s)" in out
+        assert (tmp_path / "BENCH_leaderboard.json").exists()
+        assert (tmp_path / "BENCH_leaderboard.md").exists()
+
+    def test_leaderboard_schema_violation_errors(self, tmp_path, capsys):
+        import json
+
+        (tmp_path / "BENCH_native.json").write_text(
+            json.dumps({"kind": "native_speedup"}))
+        assert main(["leaderboard", "--artifacts", str(tmp_path)]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_verbose_flag_configures_then_resets_logging(self, capsys):
+        import logging
+
+        from repro.obs.log import configure_logging
+        try:
+            assert main(["-v", "datasets"]) == 0
+            root = logging.getLogger("repro")
+            assert root.level == logging.INFO
+            assert any(getattr(h, "_repro_managed", False)
+                       for h in root.handlers)
+        finally:
+            configure_logging(0)
+
+
 class TestModuleEntryPoint:
     def test_python_dash_m_repro(self):
         """``python -m repro`` runs the CLI (repro/__main__.py)."""
