@@ -1,0 +1,102 @@
+"""Distributed serving throughput: the topology × size benchmark grid.
+
+The distributed tier's promise: at 4 workers the aggregate served
+throughput on the zipf mixed workload is at least **2x** the 1-worker
+(in-process) baseline — with every served count bit-identical to a
+direct ``count(...)`` call, and the partitioned fan-out/merge path
+equal to whole-graph counts bit for bit.
+
+The 2x bar is asserted on hosts with >= 4 usable CPUs; smaller machines
+still run the full grid, verify bit-identical counts, record the JSON
+artifact (``BENCH_dist.json``), and then skip the bar.  Runs in the
+slow benchmark suite (``pytest -m "" benchmarks``) or directly:
+``python benchmarks/test_dist_throughput.py``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.dist.bench import dist_bench
+from repro.obs.schema import validate_artifact
+from repro.parallel.sharding import default_workers
+from repro.service.bench import write_artifact
+
+ARTIFACT_DIR = Path(__file__).parent / "artifacts"
+MIN_SPEEDUP = 2.0
+MIN_CPUS_FOR_BAR = 4
+
+TOPOLOGIES = (1, 2, 4)
+SIZES = ("small", "medium")
+REPETITIONS = 2
+NUM_QUERIES = 160
+
+
+def run_grid() -> dict:
+    return dist_bench(topologies=TOPOLOGIES, sizes=SIZES,
+                      repetitions=REPETITIONS, num_queries=NUM_QUERIES,
+                      clients=8, zipf_s=1.1, backend="fast",
+                      method="GBC", replication=2, seed=17,
+                      verify=True)
+
+
+def _render(artifact: dict) -> str:
+    lines = [
+        f"Distributed serving — topology × size grid "
+        f"({NUM_QUERIES} queries × {REPETITIONS} reps, "
+        f"{artifact['host']['usable_cpus']} usable CPUs, backend "
+        f"{artifact['workload']['backend']})",
+        f"{'size':<8} {'topo':>5} {'rep':>4} {'served':>7} "
+        f"{'qps':>9} {'p95 ms':>8} {'fail':>6}",
+    ]
+    for r in artifact["rows"]:
+        lines.append(
+            f"{r['graph_size']:<8} {r['topology']:>4}w {r['repetition']:>4} "
+            f"{r['completed']:>7} {r['throughput_qps']:>9.1f} "
+            f"{r['p95_ms']:>8.1f} {r['failure_rate']:>6.3f}")
+    for size, speedup in sorted(artifact["speedup_vs_1w"].items()):
+        lines.append(f"speedup vs 1 worker ({size}, "
+                     f"{artifact['topologies'][-1]}w): {speedup:.2f}x")
+    lines.append(f"partitioned fan-out exact: "
+                 f"{artifact['partitioned']['exact']}")
+    return "\n".join(lines)
+
+
+def test_dist_throughput_grid(save_artifact):
+    artifact = run_grid()
+    write_artifact(artifact, ARTIFACT_DIR / "BENCH_dist.json")
+    save_artifact("dist_throughput", _render(artifact))
+    validate_artifact(artifact, name="BENCH_dist.json")
+
+    # the hard guarantees first: distribution never changes an answer
+    for row in artifact["rows"]:
+        assert row["mismatches"] == [], row
+        assert row["completed"] == row["issued"], row
+        assert row["failed"] == 0, row
+    assert artifact["partitioned"]["exact"], artifact["partitioned"]
+    # every grid point ran: topologies × sizes × repetitions rows
+    assert len(artifact["rows"]) == \
+        len(TOPOLOGIES) * len(SIZES) * REPETITIONS
+
+    cpus = default_workers()
+    if cpus < MIN_CPUS_FOR_BAR:
+        pytest.skip(f"throughput bar needs >= {MIN_CPUS_FOR_BAR} usable "
+                    f"CPUs, have {cpus} (counts verified, artifact "
+                    f"recorded, measured max speedup "
+                    f"{artifact['max_speedup']:.2f}x)")
+    assert artifact["max_speedup"] >= MIN_SPEEDUP, (
+        f"best aggregate speedup over the 1-worker baseline is "
+        f"{artifact['max_speedup']:.2f}x "
+        f"({artifact['speedup_vs_1w']}), below the {MIN_SPEEDUP}x bar")
+
+
+if __name__ == "__main__":      # pragma: no cover - manual invocation
+    art = run_grid()
+    write_artifact(art, ARTIFACT_DIR / "BENCH_dist.json")
+    print(_render(art))
+    print(json.dumps({"max_speedup": art["max_speedup"],
+                      "mismatches": sum(len(r["mismatches"])
+                                        for r in art["rows"])}))

@@ -204,6 +204,42 @@ def build_parser() -> argparse.ArgumentParser:
                          "BENCH_serve.json)")
     add_trace_arg(sb)
 
+    db = sub.add_parser(
+        "serve-dist-bench",
+        help="benchmark the multi-process serving tier over a "
+             "topology x graph-size grid; writes BENCH_dist.json")
+    db.add_argument("--topologies", default="1,2,4", metavar="N[,N...]",
+                    help="worker counts of the grid; 1 is the "
+                         "in-process baseline (default 1,2,4)")
+    db.add_argument("--sizes", default="small,medium",
+                    metavar="SIZE[,SIZE...]",
+                    help="graph-size tiers of the grid "
+                         "(small, medium; default both)")
+    db.add_argument("--repetitions", type=int, default=2, metavar="N",
+                    help="workload repetitions per grid point "
+                         "(default 2)")
+    db.add_argument("--queries", type=int, default=160, metavar="N",
+                    help="requests per workload run (default 160)")
+    db.add_argument("--clients", type=int, default=8,
+                    help="closed-loop client threads (default 8)")
+    db.add_argument("--zipf", type=float, default=1.1,
+                    help="graph-popularity skew exponent (default 1.1)")
+    db.add_argument("--replication", type=int, default=2, metavar="R",
+                    help="replicas for the zipf-hot graph (default 2)")
+    db.add_argument("--method", default="GBC",
+                    choices=_method_choices(),
+                    help="counting algorithm (default GBC)")
+    db.add_argument("--backend", default="fast",
+                    choices=list(BACKEND_NAMES),
+                    help="kernel engine inside workers (default fast)")
+    db.add_argument("--seed", type=int, default=17)
+    db.add_argument("--no-verify", action="store_true",
+                    help="skip the direct-recount correctness oracle")
+    db.add_argument("--output", default="benchmarks/artifacts/"
+                                        "BENCH_dist.json",
+                    help="artifact path (default benchmarks/artifacts/"
+                         "BENCH_dist.json)")
+
     mb = sub.add_parser(
         "serve-mutate-bench",
         help="benchmark incremental (p,q) maintenance against "
@@ -533,6 +569,58 @@ def _cmd_serve_bench(args) -> int:
     return 0
 
 
+def _cmd_serve_dist_bench(args) -> int:
+    from repro.dist.bench import GRID_SIZES, dist_bench
+    from repro.service.bench import write_artifact
+
+    try:
+        topologies = tuple(int(t) for t in args.topologies.split(",")
+                           if t.strip())
+    except ValueError:
+        print(f"error: bad --topologies {args.topologies!r}",
+              file=sys.stderr)
+        return 2
+    sizes = tuple(s.strip() for s in args.sizes.split(",") if s.strip())
+    for size in sizes:
+        if size not in GRID_SIZES:
+            print(f"error: unknown size {size!r}; pick from "
+                  f"{sorted(GRID_SIZES)}", file=sys.stderr)
+            return 2
+    artifact = dist_bench(topologies=topologies, sizes=sizes,
+                          repetitions=args.repetitions,
+                          num_queries=args.queries,
+                          clients=args.clients, zipf_s=args.zipf,
+                          backend=args.backend, method=args.method,
+                          replication=args.replication, seed=args.seed,
+                          verify=not args.no_verify)
+    path = write_artifact(artifact, args.output)
+
+    rows = [[r["graph_size"], f"{r['topology']}w", r["repetition"],
+             r["completed"], f"{r['throughput_qps']:.1f}",
+             f"{r['p95_ms']:.1f}", f"{r['failure_rate']:.3f}",
+             len(r["mismatches"])]
+            for r in artifact["rows"]]
+    print(render_table(
+        f"serve-dist-bench — {artifact['host']['usable_cpus']} usable "
+        f"CPUs, backend {args.backend}",
+        ["size", "topology", "rep", "served", "qps", "p95 [ms]",
+         "fail rate", "mismatch"], rows))
+    speedups = ", ".join(f"{size}: {s:.2f}x"
+                         for size, s in
+                         sorted(artifact["speedup_vs_1w"].items()))
+    print(f"speedup vs 1 worker at {artifact['topologies'][-1]} "
+          f"workers: {speedups}")
+    print(f"partitioned fan-out exact: "
+          f"{artifact['partitioned']['exact']}")
+    print(f"artifact: {path}")
+    mismatches = sum(len(r["mismatches"]) for r in artifact["rows"])
+    if mismatches or not artifact["partitioned"]["exact"]:
+        print(f"error: {mismatches} served counts diverged from the "
+              f"direct oracle", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_serve_mutate_bench(args) -> int:
     from repro.service import SchedulerConfig, WorkloadSpec, mutate_bench
     from repro.service.bench import write_artifact
@@ -770,6 +858,7 @@ def main(argv: list[str] | None = None) -> int:
         "plan": _cmd_plan,
         "batch": _cmd_batch,
         "serve-bench": _cmd_serve_bench,
+        "serve-dist-bench": _cmd_serve_dist_bench,
         "serve-mutate-bench": _cmd_serve_mutate_bench,
         "trace": _cmd_trace,
         "leaderboard": _cmd_leaderboard,

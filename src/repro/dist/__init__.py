@@ -1,0 +1,36 @@
+"""repro.dist — the multi-process serving tier (scale-out seam).
+
+One :class:`~repro.dist.router.DistRouter` front-end (the same
+micro-batching :class:`~repro.service.scheduler.Scheduler` surface:
+futures, admission control, deadlines) over N long-lived worker
+processes, each owning a shard of the session pool:
+
+* :mod:`~repro.dist.hashring` — consistent hashing on graph content
+  fingerprints: deterministic placement, bounded key movement as the
+  topology grows or shrinks, replica walks for zipf-hot graphs;
+* :mod:`~repro.dist.worker` — the worker process: its own
+  ``SessionPool`` + inner ``Scheduler`` + ``CostLedger``, fed batched
+  request envelopes over a pipe (fork-spawned once — never a fork per
+  batch), plus per-shard partial counting for partitioned graphs;
+* :mod:`~repro.dist.router` — routing, replication fan-out,
+  partition-merge counting (bit-identical to single-process by the
+  per-root decomposition), cross-worker telemetry/ledger aggregation,
+  and graceful in-process fallback when ``fork`` is unavailable;
+* :mod:`~repro.dist.bench` — the ``serve-dist-bench`` topology × size
+  grid behind ``BENCH_dist.json``.
+
+>>> from repro import random_bipartite
+>>> from repro.dist import DistRouter
+>>> g = random_bipartite(30, 20, 200, seed=7)
+>>> with DistRouter({"demo": g}, workers=2) as router:
+...     router.count("demo", 2, 3).count
+528
+"""
+
+from repro.dist.bench import dist_bench, make_grid_graphs
+from repro.dist.hashring import HashRing
+from repro.dist.router import DistRouter, RouteEntry, plan_routes
+from repro.dist.worker import WorkerHandle
+
+__all__ = ["DistRouter", "HashRing", "RouteEntry", "WorkerHandle",
+           "dist_bench", "make_grid_graphs", "plan_routes"]

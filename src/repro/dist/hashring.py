@@ -1,0 +1,106 @@
+"""Consistent hashing for partition-aware request routing.
+
+The router places each pooled graph on a worker by hashing the graph's
+content fingerprint onto a ring of virtual nodes
+(``vnodes`` points per worker, blake2b positions).  Two properties the
+serving tier leans on, both pinned by ``tests/dist/test_hashring.py``:
+
+* **determinism** — placement is a pure function of the fingerprint
+  and the node set: every router over the same graphs and worker count
+  computes the same table, so routing state never needs coordination;
+* **stability** — adding or removing one worker only remaps the keys
+  whose arc the change touches (expected ``1/n`` of them), so scaling
+  a topology does not reshuffle every session pool.
+
+:meth:`HashRing.replicas` walks the ring clockwise collecting distinct
+nodes — the replica set for zipf-hot graphs, which inherits the same
+stability property.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+from repro.errors import ServiceError
+
+__all__ = ["HashRing"]
+
+#: virtual nodes per physical node; enough to keep per-node load within
+#: a few percent of fair at single-digit node counts
+DEFAULT_VNODES = 64
+
+
+def _position(key: str) -> int:
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class HashRing:
+    """A consistent-hash ring over hashable node ids (worker indices)."""
+
+    def __init__(self, nodes=(), *, vnodes: int = DEFAULT_VNODES) -> None:
+        if vnodes < 1:
+            raise ServiceError(f"vnodes must be >= 1, got {vnodes}")
+        self.vnodes = int(vnodes)
+        self._nodes: set = set()
+        self._points: list[tuple[int, object]] = []
+        for node in nodes:
+            self.add(node)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node) -> bool:
+        return node in self._nodes
+
+    @property
+    def nodes(self) -> list:
+        return sorted(self._nodes, key=repr)
+
+    def add(self, node) -> None:
+        """Insert ``node``'s virtual points (idempotent)."""
+        if node in self._nodes:
+            return
+        self._nodes.add(node)
+        for i in range(self.vnodes):
+            # ties between distinct nodes at one position are broken by
+            # the node repr so insertion order never matters
+            self._points.append((_position(f"{node!r}#{i}"), node))
+        self._points.sort(key=lambda pt: (pt[0], repr(pt[1])))
+
+    def remove(self, node) -> None:
+        """Drop ``node`` and all its virtual points."""
+        if node not in self._nodes:
+            raise ServiceError(f"node {node!r} not on the ring")
+        self._nodes.discard(node)
+        self._points = [pt for pt in self._points if pt[1] != node]
+
+    def route(self, key: str):
+        """The node owning ``key``: first point clockwise of its hash."""
+        if not self._points:
+            raise ServiceError("cannot route on an empty ring")
+        pos = _position(key)
+        idx = bisect.bisect_right([p for p, _ in self._points], pos)
+        return self._points[idx % len(self._points)][1]
+
+    def replicas(self, key: str, n: int) -> list:
+        """The first ``n`` distinct nodes clockwise of ``key``'s hash.
+
+        The primary (``route(key)``) comes first; ``n`` is capped at
+        the ring's node count.
+        """
+        if n < 1:
+            raise ServiceError(f"replica count must be >= 1, got {n}")
+        if not self._points:
+            raise ServiceError("cannot route on an empty ring")
+        pos = _position(key)
+        idx = bisect.bisect_right([p for p, _ in self._points], pos)
+        picked: list = []
+        for step in range(len(self._points)):
+            node = self._points[(idx + step) % len(self._points)][1]
+            if node not in picked:
+                picked.append(node)
+                if len(picked) >= min(n, len(self._nodes)):
+                    break
+        return picked

@@ -1,8 +1,9 @@
 """Observability: tracing spans, the measured-cost ledger, leaderboard.
 
-The counting stack has seven functional seams (see
-``docs/ARCHITECTURE.md``); this package is the eighth — the one that
-watches the other seven.  Three pillars, all zero-dependency:
+The counting stack has nine functional seams (see
+``docs/ARCHITECTURE.md``); this package is the observability seam —
+the one that watches all the others.  Three pillars, all
+zero-dependency:
 
 * :mod:`repro.obs.trace` — spans.  ``obs.span("plan.execute", ...)``
   context managers with an ambient thread-local current span, recorded

@@ -112,6 +112,17 @@ def extract_cells(name: str, artifact: dict) -> list[dict]:
                            "higher"))
         cells.append(_cell(name, "serve", "speedup_vs_naive",
                            artifact["speedup_vs_naive"], "higher"))
+    elif kind == "dist_bench":
+        for size, by_topology in sorted(
+                artifact["throughput_qps"].items()):
+            for topology, qps in sorted(by_topology.items(),
+                                        key=lambda kv: int(kv[0])):
+                cells.append(_cell(name, f"{size}|{topology}w",
+                                   "throughput_qps", qps, "higher"))
+        for size, speedup in sorted(artifact["speedup_vs_1w"].items()):
+            if speedup > 0:
+                cells.append(_cell(name, size, "speedup_vs_1w",
+                                   speedup, "higher"))
     return cells
 
 

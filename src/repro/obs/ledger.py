@@ -145,6 +145,36 @@ class CostLedger:
             cell.last_observed = observed
             return cell
 
+    def merge_snapshot(self, snapshot: dict) -> int:
+        """Fold another ledger's :meth:`snapshot` into this one.
+
+        The cross-process calibration path: distributed serving workers
+        each keep a private ledger (they cannot share the router's
+        through a pipe), and the router folds their snapshots into the
+        shared ledger at harvest/close.  Unknown cells copy over;
+        known cells EWMA-fold the incoming cell's smoothed state as one
+        observation and pool the observation counts.  Returns the
+        number of cells folded.
+        """
+        merged = 0
+        for key, data in (snapshot or {}).get("cells", {}).items():
+            other = LedgerCell.from_dict(data)
+            with self._lock:
+                mine = self._cells.get(key)
+                if mine is None:
+                    self._cells[key] = other
+                else:
+                    a = self.alpha
+                    mine.observed_seconds += a * (other.observed_seconds
+                                                  - mine.observed_seconds)
+                    if other.ratio is not None:
+                        mine.ratio = other.ratio if mine.ratio is None \
+                            else mine.ratio + a * (other.ratio - mine.ratio)
+                    mine.observations += other.observations
+                    mine.last_observed = other.last_observed
+            merged += 1
+        return merged
+
     # -- lookup --------------------------------------------------------
     def lookup(self, fingerprint: str, p: int, q: int, method: str,
                backend: str) -> LedgerCell | None:

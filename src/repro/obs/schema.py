@@ -142,6 +142,27 @@ ARTIFACT_SCHEMAS: dict[str, dict] = {
             }],
         }],
     },
+    "dist_bench": {
+        "kind": "dist_bench",
+        "generated": str,
+        "host": {"usable_cpus": int},
+        "topologies": [int],
+        "sizes": [str],
+        "rows": [{
+            "topology": int,
+            "graph_size": str,
+            "repetition": int,
+            "completed": int,
+            "throughput_qps": NUMBER,
+            "p95_ms": NUMBER,
+            "failure_rate": NUMBER,
+            "mismatches": list,
+        }],
+        "throughput_qps": dict,
+        "speedup_vs_1w": dict,
+        "max_speedup": NUMBER,
+        "partitioned": {"exact": bool},
+    },
     "leaderboard": {
         "kind": "leaderboard",
         "generated": str,

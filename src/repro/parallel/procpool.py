@@ -1,0 +1,535 @@
+"""Persistent fork-pool: long-lived workers fed over pipes.
+
+:func:`repro.parallel.sharding.run_sharded` historically forked a fresh
+``multiprocessing.Pool`` per call, which let chunk closures ride into
+the children for free (fork inherits everything) but paid full pool
+spin-up on *every* sharded count — the dominant cost of small
+partitioned calls, and a per-batch tax on every ``backend="par"``
+request a scheduler serves.  This module keeps one set of forked
+workers alive per worker-count and re-feeds them across calls.
+
+Because the workers outlive any single closure, chunk functions can no
+longer be inherited — they are **shipped by value**:
+
+* the function's ``__code__`` crosses the pipe via :mod:`marshal` and
+  is rebuilt with :class:`types.FunctionType`, with its globals bound
+  to the worker's own import of ``fn.__module__`` (forked workers
+  share ``sys.modules``, so this is almost always a dict lookup);
+* closure cells (and defaults) are encoded individually: scalars
+  inline, nested functions recursively, and everything else — graphs,
+  indexes, HTB tables — as a **state token**.  Token values are
+  pickled once and cached worker-side in an LRU that the parent
+  mirrors exactly, so the second call closing over the same graph
+  ships a few bytes instead of megabytes.  Functions defined in
+  ``__main__`` also ship the globals their body references — a
+  pre-forked worker's ``__main__`` is frozen at fork time and cannot
+  be re-imported, unlike any other module;
+* the pool self-schedules: each idle worker pulls the next pending
+  shard, which subsumes both the static and dynamic dispatch modes of
+  :func:`~repro.parallel.sharding.plan_shards` (shard *contents* stay
+  deterministic; only which process runs a shard varies).
+
+Anything unshippable (unmarshalable code, unpicklable state, a dead
+worker) raises :class:`ShipError` and the caller falls back to the
+legacy fork-per-call pool — correctness never depends on this cache.
+Set ``REPRO_PERSISTENT_POOL=0`` to disable the persistent tier
+entirely.
+"""
+
+from __future__ import annotations
+
+import importlib
+import itertools
+import marshal
+import multiprocessing as mp
+import os
+import pickle
+import sys
+import threading
+import types
+import weakref
+from collections import OrderedDict, deque
+from multiprocessing.connection import wait as _conn_wait
+
+__all__ = ["PersistentPool", "ShipError", "get_pool", "pool_enabled",
+           "shutdown_pools"]
+
+#: tokens (shipped state values) each worker keeps resident; the parent
+#: mirrors the same LRU so both sides agree on what needs resending
+CACHE_CAP = 64
+
+#: distinct pool sizes kept alive at once (counts typically use one)
+_MAX_POOLS = 3
+
+#: values at most this many pickled-ish bytes are inlined, not tokenised
+_SMALL_BYTES = 2048
+
+
+class ShipError(RuntimeError):
+    """A function or its state cannot ride to a persistent worker."""
+
+
+def fork_available() -> bool:
+    """Same contract as the sharding module's check: POSIX fork, and
+    not inside a daemonic child (which may not spawn children)."""
+    if "fork" not in mp.get_all_start_methods():
+        return False  # pragma: no cover - non-POSIX platforms
+    return not mp.current_process().daemon
+
+
+def pool_enabled() -> bool:
+    """Persistent pools are on unless ``REPRO_PERSISTENT_POOL=0``."""
+    return os.environ.get("REPRO_PERSISTENT_POOL", "1") != "0"
+
+
+# ---------------------------------------------------------------------------
+# value encoding — parent side
+
+
+def _is_small(value, depth: int = 0) -> bool:
+    if value is None or isinstance(value, (bool, int, float, complex)):
+        return True
+    if isinstance(value, (str, bytes)):
+        return len(value) <= _SMALL_BYTES
+    if depth < 3 and isinstance(value, (tuple, frozenset)):
+        return len(value) <= 32 and all(_is_small(v, depth + 1)
+                                        for v in value)
+    return False
+
+
+class _TokenRegistry:
+    """Stable tokens for parent-side objects shipped as worker state.
+
+    A token must name the same object for as long as the parent holds
+    it — ``id()`` alone cannot do that (ids recycle after collection),
+    so every token carries a guard: a weakref where the type supports
+    one, else a strong reference in a bounded LRU.  A stale id hit
+    (guard no longer the object) simply mints a fresh token; workers
+    evict the orphaned entry through the mirrored LRU.
+    """
+
+    def __init__(self, strong_cap: int = CACHE_CAP) -> None:
+        self._lock = threading.Lock()
+        self._next = itertools.count()
+        self._by_id: dict[int, int] = {}
+        self._guards: dict[int, object] = {}
+        self._strong: OrderedDict[int, object] = OrderedDict()
+        self._strong_cap = int(strong_cap)
+
+    def token(self, obj) -> int:
+        with self._lock:
+            oid = id(obj)
+            tok = self._by_id.get(oid)
+            if tok is not None:
+                guard = self._guards.get(tok)
+                live = guard() if isinstance(guard, weakref.ref) else guard
+                if live is obj:
+                    if tok in self._strong:
+                        self._strong.move_to_end(tok)
+                    return tok
+                self._drop(oid, tok)
+            tok = next(self._next)
+            self._by_id[oid] = tok
+            try:
+                self._guards[tok] = weakref.ref(obj)
+            except TypeError:
+                # lists/dicts/ndarlike without weakref support: pin the
+                # object so its id cannot recycle while the token lives
+                self._guards[tok] = obj
+                self._strong[tok] = obj
+                while len(self._strong) > self._strong_cap:
+                    old, kept = self._strong.popitem(last=False)
+                    self._drop(id(kept), old)
+            return tok
+
+    def _drop(self, oid: int, tok: int) -> None:
+        self._by_id.pop(oid, None)
+        self._guards.pop(tok, None)
+        self._strong.pop(tok, None)
+
+
+def _is_module_global(fn: types.FunctionType) -> bool:
+    mod = sys.modules.get(fn.__module__ or "")
+    if mod is None:
+        return False
+    obj = mod
+    for part in fn.__qualname__.split("."):
+        obj = getattr(obj, part, None)
+        if obj is None:
+            return False
+    return obj is fn
+
+
+def _encode(value, registry: _TokenRegistry,
+            refs: "OrderedDict[int, object]", depth: int):
+    if isinstance(value, types.FunctionType):
+        # __main__ may have grown since the workers forked, so its
+        # functions cannot be resolved by name worker-side
+        if _is_module_global(value) and value.__module__ != "__main__":
+            return ("g", value.__module__, value.__qualname__)
+        return ("f", _freeze(value, registry, refs, depth + 1))
+    if isinstance(value, types.ModuleType):
+        return ("g", value.__name__, "")
+    if _is_small(value):
+        return ("v", pickle.dumps(value, pickle.HIGHEST_PROTOCOL))
+    tok = registry.token(value)
+    refs.setdefault(tok, value)
+    return ("r", tok)
+
+
+def _referenced_globals(code) -> set:
+    names = set(code.co_names)
+    for const in code.co_consts:
+        if isinstance(const, types.CodeType):
+            names |= _referenced_globals(const)
+    return names
+
+
+def _freeze(fn, registry: _TokenRegistry,
+            refs: "OrderedDict[int, object]", depth: int = 0):
+    """Encode ``fn`` by value; collects token-shipped state in ``refs``."""
+    if depth > 8:
+        raise ShipError("closure nesting too deep to ship")
+    if not isinstance(fn, types.FunctionType):
+        raise ShipError(f"cannot ship a {type(fn).__name__}, "
+                        f"only plain functions")
+    try:
+        code = marshal.dumps(fn.__code__)
+    except ValueError as exc:  # pragma: no cover - exotic code consts
+        raise ShipError(f"unmarshalable code object: {exc}") from exc
+    cells = tuple(_encode(c.cell_contents, registry, refs, depth)
+                  for c in (fn.__closure__ or ()))
+    defaults = None if fn.__defaults__ is None else tuple(
+        _encode(v, registry, refs, depth) for v in fn.__defaults__)
+    kwdefaults = None if not fn.__kwdefaults__ else {
+        k: _encode(v, registry, refs, depth)
+        for k, v in fn.__kwdefaults__.items()}
+    globalrefs = None
+    if (fn.__module__ or "__main__") == "__main__":
+        # a forked worker's __main__ is frozen at fork time and cannot
+        # be re-imported, so globals the body touches ride along too
+        g = fn.__globals__
+        globalrefs = {n: _encode(g[n], registry, refs, depth)
+                      for n in sorted(_referenced_globals(fn.__code__))
+                      if n in g} or None
+    return ("fn", fn.__module__ or "builtins", fn.__name__,
+            fn.__qualname__, code, defaults, kwdefaults, cells,
+            globalrefs)
+
+
+# ---------------------------------------------------------------------------
+# value decoding — worker side
+
+
+def _resolve_global(module: str, qualname: str):
+    mod = sys.modules.get(module)
+    if mod is None:
+        mod = importlib.import_module(module)
+    obj = mod
+    for part in qualname.split("."):
+        if part:  # empty qualname names the module itself
+            obj = getattr(obj, part)
+    return obj
+
+
+def _decode(enc, cache: "OrderedDict[int, object]"):
+    tag = enc[0]
+    if tag == "v":
+        return pickle.loads(enc[1])
+    if tag == "r":
+        if enc[1] not in cache:
+            raise ShipError(f"state token {enc[1]} missing from worker "
+                            f"cache")
+        return cache[enc[1]]
+    if tag == "f":
+        return _thaw(enc[1], cache)
+    return _resolve_global(enc[1], enc[2])
+
+
+def _thaw(payload, cache: "OrderedDict[int, object]"):
+    (_, module, name, qualname, code_b, defaults, kwdefaults, cells,
+     globalrefs) = payload
+    code = marshal.loads(code_b)
+    mod = sys.modules.get(module)
+    if mod is None:
+        mod = importlib.import_module(module)
+    fn_globals = mod.__dict__
+    if globalrefs:
+        fn_globals = dict(mod.__dict__)
+        fn_globals.update({k: _decode(v, cache)
+                           for k, v in globalrefs.items()})
+    closure = tuple(types.CellType(_decode(c, cache)) for c in cells)
+    fn = types.FunctionType(
+        code, fn_globals, name,
+        None if defaults is None else tuple(_decode(d, cache)
+                                            for d in defaults),
+        closure)
+    if kwdefaults:
+        fn.__kwdefaults__ = {k: _decode(v, cache)
+                             for k, v in kwdefaults.items()}
+    fn.__qualname__ = qualname
+    return fn
+
+
+def _touch_lru(lru: OrderedDict, tokens, cap: int) -> list:
+    """Mark ``tokens`` most-recently-used, evict past ``cap``.
+
+    Applied with identical token streams to the parent's per-worker
+    mirror and the worker's value cache, so both sides always agree on
+    which tokens are resident.
+    """
+    for tok in tokens:
+        if tok in lru:
+            lru.move_to_end(tok)
+        else:
+            lru[tok] = True
+    evicted = []
+    while len(lru) > cap:
+        old, _ = lru.popitem(last=False)
+        evicted.append(old)
+    return evicted
+
+
+# ---------------------------------------------------------------------------
+# worker process
+
+
+def _worker_main(conn) -> None:  # pragma: no cover - runs in fork child
+    cache: OrderedDict[int, object] = OrderedDict()
+    fn = None
+    active = -1
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            return
+        tag = msg[0]
+        if tag == "exit":
+            return
+        if tag == "call":
+            _, call_id, payload, values, order, cap = msg
+            try:
+                for tok, blob in values.items():
+                    cache[tok] = pickle.loads(blob)
+                _touch_lru(cache, order, cap)
+                fn = _thaw(payload, cache)
+                active = call_id
+            except Exception as exc:
+                fn, active = None, call_id
+                conn.send(("err", call_id, None, None,
+                           f"thaw failed: {exc!r}"))
+            continue
+        # ("do", call_id, shard_id, shard)
+        _, call_id, shard_id, shard = msg
+        if call_id != active or fn is None:
+            conn.send(("err", call_id, shard_id, None,
+                       "no live function for this call"))
+            continue
+        try:
+            result = fn(shard)
+        except Exception as exc:
+            try:
+                blob = pickle.dumps(exc, pickle.HIGHEST_PROTOCOL)
+            except Exception:
+                blob = None
+            conn.send(("err", call_id, shard_id, blob, repr(exc)))
+        else:
+            try:
+                conn.send(("ok", call_id, shard_id, result))
+            except Exception as exc:
+                conn.send(("err", call_id, shard_id, None,
+                           f"unpicklable result: {exc!r}"))
+
+
+# ---------------------------------------------------------------------------
+# parent-side pool
+
+
+class PersistentPool:
+    """A fixed set of long-lived forked workers, reused across calls.
+
+    One sharded call runs at a time (:meth:`run` holds the pool lock);
+    concurrent callers serialise rather than oversubscribing the same
+    CPUs with overlapping pools.  Any transport failure marks the pool
+    broken — the registry replaces broken pools on next use.
+    """
+
+    def __init__(self, workers: int) -> None:
+        ctx = mp.get_context("fork")
+        self.workers = int(workers)
+        self._lock = threading.Lock()
+        self._registry = _TokenRegistry()
+        self._calls = itertools.count()
+        self._delivered = [OrderedDict() for _ in range(self.workers)]
+        self.broken = False
+        self._conns = []
+        self._procs = []
+        for i in range(self.workers):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(target=_worker_main, args=(child_conn,),
+                               name=f"repro-pool-{i}", daemon=True)
+            proc.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._procs.append(proc)
+
+    @property
+    def worker_pids(self) -> list[int]:
+        return [p.pid for p in self._procs]
+
+    def alive(self) -> bool:
+        return not self.broken and all(p.is_alive() for p in self._procs)
+
+    def run(self, fn, shards) -> list:
+        """Run ``fn(shard)`` for every shard; results in shard order.
+
+        Raises :class:`ShipError` when the function/state cannot ship
+        or the transport breaks (callers fall back to the per-call
+        pool); exceptions raised *by* ``fn`` propagate as themselves.
+        """
+        with self._lock:
+            if self.broken:
+                raise ShipError("persistent pool is broken")
+            payload_refs: OrderedDict[int, object] = OrderedDict()
+            payload = _freeze(fn, self._registry, payload_refs)
+            try:
+                return self._run_locked(payload, payload_refs,
+                                        list(shards))
+            except ShipError:
+                raise
+            except (OSError, EOFError, BrokenPipeError) as exc:
+                self.broken = True
+                self._terminate()
+                raise ShipError(f"pool transport failed: {exc!r}") from exc
+
+    def _run_locked(self, payload, refs, shards) -> list:
+        call_id = next(self._calls)
+        order = list(refs)
+        blobs: dict[int, bytes] = {}
+        pending = deque(range(len(shards)))
+        inflight: dict[int, int] = {}
+        called: set[int] = set()
+        results: dict[int, object] = {}
+        conn_index = {id(c): w for w, c in enumerate(self._conns)}
+
+        def feed(w: int) -> None:
+            if w not in called:
+                missing = [t for t in order
+                           if t not in self._delivered[w]]
+                values = {}
+                for tok in missing:
+                    blob = blobs.get(tok)
+                    if blob is None:
+                        try:
+                            blob = pickle.dumps(refs[tok],
+                                                pickle.HIGHEST_PROTOCOL)
+                        except Exception as exc:
+                            raise ShipError(
+                                f"unpicklable shipped state "
+                                f"({type(refs[tok]).__name__}): "
+                                f"{exc!r}") from exc
+                        blobs[tok] = blob
+                    values[tok] = blob
+                _touch_lru(self._delivered[w], order, CACHE_CAP)
+                self._conns[w].send(("call", call_id, payload, values,
+                                     order, CACHE_CAP))
+                called.add(w)
+            sid = pending.popleft()
+            self._conns[w].send(("do", call_id, sid, shards[sid]))
+            inflight[w] = sid
+
+        for w in range(self.workers):
+            if not pending:
+                break
+            feed(w)
+        while len(results) < len(shards):
+            busy = [self._conns[w] for w in inflight]
+            if not busy:  # pragma: no cover - defensive
+                raise ShipError("pool stalled with shards outstanding")
+            for conn in _conn_wait(busy):
+                msg = conn.recv()
+                w = conn_index[id(conn)]
+                tag, cid = msg[0], msg[1]
+                if cid != call_id:
+                    continue        # stale reply from an aborted call
+                if tag == "err":
+                    _, _, sid, blob, text = msg
+                    if sid is None:
+                        raise ShipError(text)
+                    exc = None
+                    if blob is not None:
+                        try:
+                            exc = pickle.loads(blob)
+                        except Exception:  # pragma: no cover
+                            exc = None
+                    if isinstance(exc, BaseException):
+                        raise exc       # fn's own exception, verbatim
+                    raise RuntimeError(f"persistent worker failed: "
+                                       f"{text}")
+                _, _, sid, result = msg
+                results[sid] = result
+                inflight.pop(w, None)
+                if pending:
+                    feed(w)
+        return [results[sid] for sid in range(len(shards))]
+
+    def _terminate(self) -> None:
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already gone
+                pass
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in self._procs:
+            proc.join(timeout=1.0)
+
+    def close(self) -> None:
+        """Shut the workers down (idempotent)."""
+        with self._lock:
+            if not self.broken:
+                for conn in self._conns:
+                    try:
+                        conn.send(("exit",))
+                    except (OSError, BrokenPipeError):
+                        pass
+            self.broken = True
+            self._terminate()
+
+
+# ---------------------------------------------------------------------------
+# registry — one pool per worker count, replaced when broken
+
+_pools: dict[int, PersistentPool] = {}
+_pools_lock = threading.Lock()
+
+
+def get_pool(workers: int) -> PersistentPool | None:
+    """The shared persistent pool for ``workers``, or None when the
+    persistent tier is disabled/unavailable here."""
+    if workers < 2 or not pool_enabled() or not fork_available():
+        return None
+    with _pools_lock:
+        pool = _pools.get(workers)
+        if pool is not None and pool.alive():
+            return pool
+        if pool is not None:
+            pool.close()
+            del _pools[workers]
+        while len(_pools) >= _MAX_POOLS:
+            size, old = next(iter(_pools.items()))
+            old.close()
+            del _pools[size]
+        pool = PersistentPool(workers)
+        _pools[workers] = pool
+        return pool
+
+
+def shutdown_pools() -> None:
+    """Close every registered pool (tests; process teardown is free —
+    workers are daemonic)."""
+    with _pools_lock:
+        for pool in _pools.values():
+            pool.close()
+        _pools.clear()

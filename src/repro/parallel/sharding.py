@@ -16,9 +16,13 @@ worker processes:
   :mod:`repro.gpu.workqueue` (an idle block takes the next unprocessed
   root of the most loaded victim).
 
-Workers are forked, so they inherit the parent's graph/index/HTB
-structures for free and the chunk function may close over them; only the
-per-shard *results* cross the process boundary.  Where ``fork`` is
+Execution prefers the **persistent pool** (:mod:`repro.parallel.procpool`):
+workers forked once per process and re-fed over pipes, so repeated
+sharded calls within a session skip pool spin-up; closures are shipped
+by value with a both-sides LRU cache for their heavy state.  Chunk
+functions the pool cannot ship fall back to a legacy fork-per-call
+``multiprocessing.Pool`` whose children inherit the parent's
+graph/index/HTB structures through the fork.  Where ``fork`` is
 unavailable (or inside a daemonic worker) execution falls back to
 in-process loops — same results, no speedup.
 
@@ -41,6 +45,7 @@ import numpy as np
 
 from repro.balance.preruntime import contiguous_split, weighted_greedy_split
 from repro.errors import QueryError
+from repro.parallel import procpool
 
 __all__ = ["ShardPlan", "plan_shards", "run_sharded", "default_workers",
            "PLACEMENTS", "DISPATCH_MODES"]
@@ -192,6 +197,19 @@ def run_sharded(fn: Callable[[Sequence[int]], Any],
         return []
     if workers <= 1 or len(shards) == 1 or not _fork_available():
         return [(shard, fn(shard)) for shard in shards]
+
+    # first choice: the persistent pool — workers forked once per
+    # process and re-fed across calls, so repeated sharded counts skip
+    # pool spin-up.  Anything it cannot ship falls back to the legacy
+    # fork-per-call pool below; results are identical either way.
+    pool = procpool.get_pool(min(workers, len(shards)))
+    if pool is not None:
+        try:
+            flat = pool.run(fn, shards)
+        except procpool.ShipError:
+            pass
+        else:
+            return [(shards[sid], res) for sid, res in enumerate(flat)]
 
     ctx = mp.get_context("fork")
     with ctx.Pool(processes=min(workers, len(shards)),

@@ -33,8 +33,9 @@ from repro.graph.twohop import TwoHopIndex, build_two_hop_index
 from repro.partition.bcpar import PartitionSet, bcpar_partition
 from repro.partition.metislike import MetisLikeResult, metis_like_partition
 
-__all__ = ["PartitionRunReport", "run_partitioned_count",
-           "run_bcpar", "run_metis_like", "recommended_budget_words"]
+__all__ = ["PartitionRunReport", "build_root_index", "count_roots",
+           "run_partitioned_count", "run_bcpar", "run_metis_like",
+           "recommended_budget_words"]
 
 
 def recommended_budget_words(graph: BipartiteGraph, q: int,
@@ -216,6 +217,40 @@ def run_partitioned_count(graph: BipartiteGraph, query: BicliqueQuery,
         report.on_demand_transfer_words += part.on_demand_transfer_words
     report.wall_seconds = time.perf_counter() - t0
     return report
+
+
+def build_root_index(graph: BipartiteGraph, q: int) -> TwoHopIndex:
+    """The priority-filtered two-hop index per-root enumeration uses.
+
+    Identical to what :func:`run_partitioned_count` builds internally;
+    exposed so long-lived holders (distributed serving workers counting
+    the same root shard for many queries) can build it once per ``q``.
+    """
+    rank = priority_rank(graph, LAYER_U, q)
+    return build_two_hop_index(graph, LAYER_U, q, min_priority_rank=rank)
+
+
+def count_roots(graph: BipartiteGraph, query: BicliqueQuery,
+                roots, *, index: TwoHopIndex | None = None,
+                backend: KernelBackend | str | None = None) -> int:
+    """Exact biclique count anchored at ``roots`` only.
+
+    The priority order charges every biclique to exactly one root, so
+    summing :func:`count_roots` over any disjoint cover of the U layer
+    reproduces the whole-graph count bit for bit — the merge rule the
+    distributed partitioned-serving tier relies on.  ``index`` must be
+    a :func:`build_root_index` product for the same ``(graph, q)``.
+    """
+    engine = resolve_backend(backend)
+    if index is None:
+        index = build_root_index(graph, query.q)
+    owner = np.zeros(graph.num_u, dtype=np.int64)
+    weights = np.zeros(graph.num_u, dtype=np.int64)
+    report = PartitionRunReport(method="roots", query=query)
+    for root in roots:
+        _enumerate_root(graph, index, int(root), query.p, query.q,
+                        owner, None, weights, report, engine)
+    return int(report.total_count)
 
 
 def _owner_from_groups(n: int, groups: list[list[int]]) -> np.ndarray:

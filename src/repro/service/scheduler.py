@@ -126,12 +126,18 @@ class Scheduler:
     def __init__(self, pool: SessionPool,
                  config: SchedulerConfig | None = None,
                  telemetry: Telemetry | None = None,
+                 ident: str | None = None,
                  **overrides) -> None:
         if config is not None and overrides:
             raise ServiceError("pass config= or keyword tunables, not both")
         self.pool = pool
         self.config = config or SchedulerConfig(**overrides)
         self.telemetry = telemetry or Telemetry()
+        #: optional serving-process identity; when set, every
+        #: ``serve.*`` trace event/span carries it as ``worker=`` so
+        #: multi-process traces stay attributable after aggregation
+        self.ident = ident
+        self._tk = {} if ident is None else {"worker": ident}
         self._cond = threading.Condition()
         self._rids = itertools.count(1)
         self._buckets: dict[tuple[str, str, str], _Bucket] = {}
@@ -208,7 +214,7 @@ class Scheduler:
                 log.warning("rejected %s on %r: scheduler is closed",
                             query, graph)
                 _trace.event("serve.rejected", graph=graph,
-                             reason="closed")
+                             reason="closed", **self._tk)
                 raise ServiceClosedError("scheduler is closed")
             if self._pending >= self.config.max_pending:
                 self.telemetry.record_rejected()
@@ -217,7 +223,8 @@ class Scheduler:
                             query, graph, self._pending,
                             self.config.max_pending)
                 _trace.event("serve.rejected", graph=graph,
-                             reason="queue_full", pending=self._pending)
+                             reason="queue_full", pending=self._pending,
+                             **self._tk)
                 raise QueueFullError(
                     f"{self._pending} requests already pending "
                     f"(max_pending={self.config.max_pending})")
@@ -230,7 +237,8 @@ class Scheduler:
             self._pending += 1
             self.telemetry.record_submit(self._pending)
             _trace.event("serve.queued", rid=req.rid, graph=graph,
-                         method=req.method, p=query.p, q=query.q)
+                         method=req.method, p=query.p, q=query.q,
+                         **self._tk)
             self._cond.notify_all()
         return req.future
 
@@ -348,8 +356,11 @@ class Scheduler:
                     return best_key[0], take
                 self._cond.wait(timeout=best_ready - now)
 
-    def _execute(self, graph: str, requests: list[_Request]) -> None:
-        cfg = self.config
+    def _claim_live(self, graph: str,
+                    requests: list[_Request]) -> list[_Request]:
+        """Claim each request's future; drop cancellations, expire
+        requests whose deadline lapsed in the queue.  Shared by the
+        in-process batch path and the distributed router."""
         now = time.monotonic()
         live: list[_Request] = []
         for req in requests:
@@ -364,15 +375,46 @@ class Scheduler:
                          "passed %.3fs before execution", req.rid,
                          req.query, graph, now - req.deadline_at)
                 _trace.event("serve.expired", rid=req.rid, graph=graph,
-                             late_s=now - req.deadline_at)
+                             late_s=now - req.deadline_at, **self._tk)
                 continue
             live.append(req)
+        return live
+
+    def _complete(self, req: _Request, result: CountResult,
+                  graph: str) -> None:
+        """Resolve one claimed request with its result (+telemetry)."""
+        req.future.set_result(result)
+        if result.algorithm == "approx":
+            self.telemetry.record_approx()
+        latency = time.monotonic() - req.submitted_at
+        self.telemetry.record_completed(latency)
+        _trace.event("serve.completed", rid=req.rid,
+                     graph=graph, method=result.algorithm,
+                     latency_ms=latency * 1e3, **self._tk)
+
+    def _fail(self, req: _Request, exc: Exception, graph: str) -> None:
+        """Fail one claimed request (deadline misses count as expiry)."""
+        req.future.set_exception(exc)
+        if isinstance(exc, DeadlineExceededError):
+            self.telemetry.record_expired()
+            log.info("expired request %d (%s on %r): %s",
+                     req.rid, req.query, graph, exc)
+            _trace.event("serve.expired", rid=req.rid, graph=graph,
+                         **self._tk)
+        else:
+            self.telemetry.record_failed()
+            log.warning("request %d (%s on %r) failed: %s",
+                        req.rid, req.query, graph, exc)
+
+    def _execute(self, graph: str, requests: list[_Request]) -> None:
+        cfg = self.config
+        live = self._claim_live(graph, requests)
         if not live:
             return
         self.telemetry.record_batch(len(live))
         with _trace.span("serve.batch", graph=graph, size=len(live),
                          method=live[0].method,
-                         rids=[r.rid for r in live]):
+                         rids=[r.rid for r in live], **self._tk):
             try:
                 session = self.pool.session(graph)
             except Exception as exc:           # unknown graph, loader bug
@@ -394,25 +436,7 @@ class Scheduler:
                                            workers=cfg.backend_workers,
                                            accuracy=req.accuracy,
                                            deadline=deadline_left)
-                except DeadlineExceededError as exc:
-                    req.future.set_exception(exc)
-                    self.telemetry.record_expired()
-                    log.info("expired request %d (%s on %r): %s",
-                             req.rid, req.query, graph, exc)
-                    _trace.event("serve.expired", rid=req.rid,
-                                 graph=graph)
-                    continue
                 except Exception as exc:
-                    req.future.set_exception(exc)
-                    self.telemetry.record_failed()
-                    log.warning("request %d (%s on %r) failed: %s",
-                                req.rid, req.query, graph, exc)
+                    self._fail(req, exc, graph)
                     continue
-                req.future.set_result(result)
-                if result.algorithm == "approx":
-                    self.telemetry.record_approx()
-                latency = time.monotonic() - req.submitted_at
-                self.telemetry.record_completed(latency)
-                _trace.event("serve.completed", rid=req.rid,
-                             graph=graph, method=result.algorithm,
-                             latency_ms=latency * 1e3)
+                self._complete(req, result, graph)

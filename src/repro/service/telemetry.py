@@ -21,7 +21,7 @@ import threading
 import time
 from collections import Counter
 
-__all__ = ["Telemetry", "percentile"]
+__all__ = ["Telemetry", "merge_snapshots", "percentile"]
 
 
 def percentile(samples: list[float], pct: float) -> float:
@@ -116,18 +116,24 @@ class Telemetry:
     def elapsed_seconds(self) -> float:
         return time.monotonic() - self._started_at
 
-    def snapshot(self) -> dict:
+    def snapshot(self, include_samples: bool = False) -> dict:
         """A JSON-serialisable view of everything recorded so far.
 
         Throughput is completed requests per elapsed second since the
         telemetry was created (i.e. since the scheduler started).
+
+        With ``include_samples=True`` the raw (decimated) latency
+        samples and the current decimation stride ride along under
+        ``latency_samples_ms`` / ``latency_stride`` — the extra payload
+        :func:`merge_snapshots` needs, since percentiles of percentiles
+        are not percentiles.
         """
         with self._lock:
             elapsed = self.elapsed_seconds()
             sizes = self._batch_sizes
             total_batched = sum(s * n for s, n in sizes.items())
             lat = self._latencies_ms
-            return {
+            out = {
                 "started_at": time.strftime(
                     "%Y-%m-%dT%H:%M:%SZ",
                     time.gmtime(self._started_wall)),
@@ -161,3 +167,76 @@ class Telemetry:
                     "max": max(lat) if lat else 0.0,
                 },
             }
+            if include_samples:
+                out["latency_samples_ms"] = list(lat)
+                out["latency_stride"] = self._latency_stride
+            return out
+
+
+def merge_snapshots(snapshots) -> dict:
+    """Fold per-worker telemetry snapshots into one cluster view.
+
+    Counters sum; the batch-size histogram merges; queue depth reports
+    the sum of last-seen depths and the max of maxima.  Latency
+    percentiles are recomputed from the union of each snapshot's raw
+    ``latency_samples_ms`` (so inputs should come from
+    ``snapshot(include_samples=True)``) — exact when every stream is
+    undecimated, and within decimation tolerance otherwise, which is
+    the same contract one long-running :class:`Telemetry` offers.
+    Cluster throughput is total completions over the *longest* elapsed
+    time, since workers run concurrently, not back to back.
+    """
+    snaps = [s for s in snapshots if s]
+    merged_sizes: Counter[int] = Counter()
+    samples: list[float] = []
+    elapsed = 0.0
+    counters = {k: 0 for k in ("submitted", "rejected", "expired",
+                               "completed", "failed", "mutations",
+                               "approx_completed")}
+    depth_last = depth_max = 0
+    started = None
+    stride = 1
+    for snap in snaps:
+        for key in counters:
+            counters[key] += int(snap.get(key, 0))
+        elapsed = max(elapsed, float(snap.get("elapsed_seconds", 0.0)))
+        for size, n in snap.get("batches", {}).get("histogram",
+                                                   {}).items():
+            merged_sizes[int(size)] += int(n)
+        depth = snap.get("queue_depth", {})
+        depth_last += int(depth.get("last", 0))
+        depth_max = max(depth_max, int(depth.get("max", 0)))
+        samples.extend(snap.get("latency_samples_ms", []))
+        stride = max(stride, int(snap.get("latency_stride", 1)))
+        at = snap.get("started_at")
+        if at is not None:
+            started = at if started is None else min(started, at)
+    batches = sum(merged_sizes.values())
+    total_batched = sum(s * n for s, n in merged_sizes.items())
+    return {
+        "workers": len(snaps),
+        "started_at": started,
+        "elapsed_seconds": elapsed,
+        **counters,
+        "throughput_qps": (counters["completed"] / elapsed)
+                          if elapsed > 0 else 0.0,
+        "queue_depth": {"last": depth_last, "max": depth_max},
+        "batches": {
+            "count": batches,
+            "mean_size": (total_batched / batches) if batches else 0.0,
+            "max_size": max(merged_sizes) if merged_sizes else 0,
+            "histogram": {str(s): n
+                          for s, n in sorted(merged_sizes.items())},
+        },
+        "latency_ms": {
+            "samples": len(samples),
+            "stride": stride,
+            "mean": (sum(samples) / len(samples)) if samples else 0.0,
+            "min": min(samples) if samples else 0.0,
+            "p50": percentile(samples, 50),
+            "p90": percentile(samples, 90),
+            "p95": percentile(samples, 95),
+            "p99": percentile(samples, 99),
+            "max": max(samples) if samples else 0.0,
+        },
+    }

@@ -1,0 +1,119 @@
+"""Consistent-hash ring: determinism, stability, replica semantics.
+
+The serving tier leans on two properties: placement is a pure function
+of (key set, node set) — no coordination state — and topology changes
+move only a bounded fraction of keys.  Both are pinned here, along with
+the :func:`~repro.dist.router.plan_routes` table built on top.
+"""
+
+import pytest
+
+from repro.dist.hashring import HashRing
+from repro.dist.router import plan_routes
+from repro.errors import ServiceError
+
+KEYS = [f"fp-{i:04d}" for i in range(600)]
+
+
+def test_routing_is_deterministic_across_instances():
+    a = HashRing(range(4))
+    b = HashRing([3, 1, 0, 2])          # insertion order must not matter
+    assert [a.route(k) for k in KEYS] == [b.route(k) for k in KEYS]
+
+
+def test_add_node_moves_bounded_fraction_of_keys():
+    ring = HashRing(range(4))
+    before = {k: ring.route(k) for k in KEYS}
+    ring.add(4)
+    after = {k: ring.route(k) for k in KEYS}
+    moved = [k for k in KEYS if before[k] != after[k]]
+    # expected move rate is 1/5; allow generous slack but far below a
+    # full reshuffle
+    assert len(moved) <= len(KEYS) * 0.45
+    # every moved key must have moved TO the new node, never between
+    # old nodes
+    assert all(after[k] == 4 for k in moved)
+
+
+def test_remove_node_moves_only_its_keys():
+    ring = HashRing(range(5))
+    before = {k: ring.route(k) for k in KEYS}
+    ring.remove(2)
+    after = {k: ring.route(k) for k in KEYS}
+    for k in KEYS:
+        if before[k] != 2:
+            assert after[k] == before[k]
+        else:
+            assert after[k] != 2
+
+
+def test_replicas_distinct_primary_first():
+    ring = HashRing(range(5))
+    for key in KEYS[:50]:
+        reps = ring.replicas(key, 3)
+        assert len(reps) == 3
+        assert len(set(reps)) == 3
+        assert reps[0] == ring.route(key)
+
+
+def test_replicas_capped_at_node_count():
+    ring = HashRing(range(2))
+    assert len(ring.replicas("x", 5)) == 2
+
+
+def test_ring_membership_and_errors():
+    ring = HashRing()
+    with pytest.raises(ServiceError):
+        ring.route("anything")
+    ring.add("w0")
+    assert "w0" in ring and len(ring) == 1
+    ring.add("w0")                       # idempotent
+    assert len(ring) == 1
+    with pytest.raises(ServiceError):
+        ring.remove("w9")
+    with pytest.raises(ServiceError):
+        ring.replicas("k", 0)
+
+
+def test_plan_routes_deterministic_and_kinded():
+    fps = {"hot": "fp-a", "warm": "fp-b", "big": "fp-c"}
+    t1 = plan_routes(fps, 4, replication=2, hot=("hot",),
+                     partitioned=("big",))
+    t2 = plan_routes(dict(reversed(list(fps.items()))), 4,
+                     replication=2, hot=("hot",), partitioned=("big",))
+    for name in fps:
+        assert t1[name].describe() == t2[name].describe()
+    assert t1["big"].kind == "partitioned"
+    assert t1["big"].owners == (0, 1, 2, 3)
+    assert t1["hot"].kind == "replicated"
+    assert len(set(t1["hot"].owners)) == 2
+    assert t1["warm"].kind == "single"
+    assert len(t1["warm"].owners) == 1
+
+
+def test_plan_routes_round_robin_pick():
+    fps = {"hot": "fp-a"}
+    table = plan_routes(fps, 4, replication=3, hot=("hot",))
+    route = table["hot"]
+    picks = [route.pick() for _ in range(6)]
+    assert picks[:3] == list(route.owners)
+    assert picks[3:] == list(route.owners)
+
+
+def test_plan_routes_rejects_bad_specs():
+    fps = {"a": "fp-a"}
+    with pytest.raises(ServiceError):
+        plan_routes(fps, 2, hot=("missing",))
+    with pytest.raises(ServiceError):
+        plan_routes(fps, 2, hot=("a",), partitioned=("a",))
+    with pytest.raises(ServiceError):
+        plan_routes(fps, 0)
+    with pytest.raises(ServiceError):
+        plan_routes(fps, 2, replication=0)
+
+
+def test_single_worker_plan_never_replicates():
+    fps = {"hot": "fp-a", "warm": "fp-b"}
+    table = plan_routes(fps, 1, replication=3, hot=("hot",))
+    assert table["hot"].kind == "single"
+    assert table["hot"].owners == (0,)

@@ -10,6 +10,7 @@ import doctest
 import pytest
 
 import repro
+import repro.dist
 import repro.engine
 import repro.engine.base
 import repro.plan
@@ -20,7 +21,7 @@ import repro.service.telemetry
 
 MODULES = [repro, repro.query, repro.engine, repro.engine.base,
            repro.plan, repro.service, repro.service.pool,
-           repro.service.telemetry]
+           repro.service.telemetry, repro.dist]
 #: modules whose docstrings are required to carry at least one example
 MUST_HAVE_EXAMPLES = {repro, repro.query, repro.engine, repro.plan,
                       repro.service}
